@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Ablation B: number of banks in the multi-bank task queues. The
+ * paper's wavefront allocator exists to feed several pipelines per
+ * cycle; with one bank the queue serializes dispatch.
+ */
+
+#include <cstdio>
+
+#include "bench_common.hh"
+#include "support/str.hh"
+
+using namespace apir;
+using namespace apir::bench;
+
+int
+main(int argc, char **argv)
+{
+    Options opt = parseOptions(argc, argv);
+    Workloads w = makeWorkloads(opt.scale);
+    const uint32_t banks[] = {1, 2, 4, 8};
+
+    std::printf("=== Ablation B: task-queue banks (wavefront allocator "
+                "fan-out) ===\n\n");
+    for (Bench b : {Bench::SpecBfs, Bench::SpecSssp, Bench::SpecDmr}) {
+        TextTable table({"banks", "sim(s)", "speedup vs 1 bank",
+                         "utilization"});
+        double base = 0.0;
+        for (uint32_t nb : banks) {
+            AccelConfig cfg = defaultAccelConfig();
+            cfg.queueBanks = nb;
+            AccelRun run = runAccelerator(b, w, cfg, false);
+            if (nb == 1)
+                base = run.seconds;
+            table.addRow({strprintf("%u", nb),
+                          strprintf("%.4f", run.seconds),
+                          strprintf("%.2fx", base / run.seconds),
+                          strprintf("%.3f", run.rr.utilization)});
+        }
+        std::printf("--- %s ---\n%s\n", benchName(b),
+                    table.render().c_str());
+    }
+    return 0;
+}

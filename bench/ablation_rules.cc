@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Ablation C: rule-engine lane count. Lanes bound the number of
+ * rules under inspection; when the allocator has no free lane the
+ * AllocRule stage stalls its pipeline (the liveness scenario of
+ * Section 4.2.1). More lanes buy more speculation depth at the
+ * register cost priced by the resource model.
+ */
+
+#include <cstdio>
+
+#include "bench_common.hh"
+#include "resource/resource.hh"
+#include "support/str.hh"
+
+using namespace apir;
+using namespace apir::bench;
+
+int
+main(int argc, char **argv)
+{
+    Options opt = parseOptions(argc, argv);
+    Workloads w = makeWorkloads(opt.scale);
+    const uint32_t lanes[] = {2, 4, 8, 16, 32, 64};
+
+    std::printf("=== Ablation C: rule-engine lanes (speculation depth) "
+                "===\n\n");
+    for (Bench b : {Bench::SpecBfs, Bench::SpecMst, Bench::CoorLu}) {
+        TextTable table({"lanes", "sim(s)", "speedup vs 2",
+                         "alloc-fails", "squashed"});
+        double base = 0.0;
+        for (uint32_t nl : lanes) {
+            AccelConfig cfg = defaultAccelConfig();
+            cfg.ruleLanes = nl;
+            cfg.rendezvousEntries = nl;
+            AccelRun run = runAccelerator(b, w, cfg, false);
+            if (nl == 2)
+                base = run.seconds;
+            double alloc_fails = 0.0;
+            for (const StatGroup &g : run.rr.groups)
+                if (g.name().rfind("rule.", 0) == 0)
+                    alloc_fails += g.get("alloc_fails");
+            table.addRow({strprintf("%u", nl),
+                          strprintf("%.4f", run.seconds),
+                          strprintf("%.2fx", base / run.seconds),
+                          strprintf("%.0f", alloc_fails),
+                          strprintf("%llu",
+                                    static_cast<unsigned long long>(
+                                        run.rr.squashed))});
+        }
+        std::printf("--- %s ---\n%s\n", benchName(b),
+                    table.render().c_str());
+    }
+    return 0;
+}

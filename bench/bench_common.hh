@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Shared infrastructure for the paper-reproduction benches: standard
+ * workloads (scaled by --scale), accelerator run helpers for all six
+ * benchmarks, and wall-clock measurement utilities.
+ */
+
+#ifndef APIR_BENCH_BENCH_COMMON_HH
+#define APIR_BENCH_BENCH_COMMON_HH
+
+#include <chrono>
+#include <functional>
+#include <string>
+
+#include "apps/bfs.hh"
+#include "apps/dmr.hh"
+#include "apps/lu.hh"
+#include "apps/mst.hh"
+#include "apps/sssp.hh"
+#include "cpumodel/xeon_model.hh"
+#include "graph/generators.hh"
+#include "hw/accelerator.hh"
+#include "support/str.hh"
+
+namespace apir {
+namespace bench {
+
+/** Command-line options common to all benches. */
+struct Options
+{
+    double scale = 1.0; //!< workload size multiplier
+};
+
+Options parseOptions(int argc, char **argv);
+
+/** Wall-clock seconds of fn (best of `reps`). */
+double timeSeconds(const std::function<void()> &fn, int reps = 3);
+
+/** The standard Figure 9/10 workloads at a given scale. */
+struct Workloads
+{
+    CsrGraph road;       //!< BFS / SSSP / MST input (USA-road stand-in)
+    uint32_t meshPoints; //!< DMR input size
+    uint32_t luBlocks;   //!< LU block rows
+    uint32_t luBlockSize;
+    double luDensity;
+};
+
+Workloads makeWorkloads(double scale);
+
+/** One simulated-accelerator run, generically. */
+struct AccelRun
+{
+    double seconds = 0.0; //!< simulated time at 200 MHz
+    RunResult rr;
+    /** Work executed, for the Xeon timing model (Figure 9). */
+    WorkCounts work;
+};
+
+/** Benchmark ids in paper order. */
+enum class Bench
+{
+    SpecBfs,
+    CoorBfs,
+    SpecSssp,
+    SpecMst,
+    SpecDmr,
+    CoorLu,
+};
+
+const char *benchName(Bench b);
+
+/**
+ * Build and run the accelerator for one benchmark on the standard
+ * workload. `hostFed` selects the incremental host-injection mode the
+ * paper uses for SPEC-DMR and COOR-LU.
+ */
+AccelRun runAccelerator(Bench b, const Workloads &w, AccelConfig cfg,
+                        bool verify = false);
+
+/** Default accelerator configuration used by the benches. */
+AccelConfig defaultAccelConfig();
+
+/** All six benchmarks in paper order. */
+inline constexpr Bench kAllBenches[] = {
+    Bench::SpecBfs, Bench::CoorBfs,  Bench::SpecSssp,
+    Bench::SpecMst, Bench::SpecDmr,  Bench::CoorLu,
+};
+
+} // namespace bench
+} // namespace apir
+
+#endif // APIR_BENCH_BENCH_COMMON_HH

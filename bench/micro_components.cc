@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Google-benchmark microbenchmarks of the simulator's hot
+ * components: registered FIFOs, rule-engine event broadcast, task
+ * queue push/pop, cache access, and the RNG. These bound the
+ * simulator's own throughput (host-side, not modeled time).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "graph/generators.hh"
+#include "hw/fifo.hh"
+#include "hw/rule_engine.hh"
+#include "hw/task_queue.hh"
+#include "mem/memsys.hh"
+#include "support/random.hh"
+
+namespace apir {
+namespace {
+
+void
+BM_RngNext(benchmark::State &state)
+{
+    Rng rng(1);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(rng.next());
+}
+BENCHMARK(BM_RngNext);
+
+void
+BM_FifoPushPop(benchmark::State &state)
+{
+    SimFifo<Token> f(8);
+    Token t;
+    uint64_t cycle = 0;
+    for (auto _ : state) {
+        f.push(cycle, t);
+        ++cycle;
+        benchmark::DoNotOptimize(f.pop(cycle));
+    }
+}
+BENCHMARK(BM_FifoPushPop);
+
+void
+BM_RuleEngineBroadcast(benchmark::State &state)
+{
+    RuleSpec spec;
+    spec.name = "bm";
+    spec.otherwise = true;
+    spec.clauses.push_back(
+        {1,
+         [](const RuleParams &p, const EventData &ev) {
+             return ev.words[0] == p.words[0];
+         },
+         false});
+    RuleEngine eng(spec, static_cast<uint32_t>(state.range(0)));
+    RuleParams params;
+    params.words[0] = 7;
+    for (uint32_t i = 0; i < state.range(0); ++i)
+        eng.alloc(params);
+    EventData ev;
+    ev.op = 1;
+    ev.words[0] = 8; // no match: lanes stay occupied
+    for (auto _ : state)
+        eng.broadcast(ev, kNoLane);
+}
+BENCHMARK(BM_RuleEngineBroadcast)->Arg(8)->Arg(32)->Arg(128);
+
+void
+BM_TaskQueuePushPop(benchmark::State &state)
+{
+    LiveKeyTracker tracker;
+    TaskSetDecl decl{"bm", TaskSetKind::ForEach, 0, 2};
+    TaskQueueUnit q(decl, 0, static_cast<uint32_t>(state.range(0)), 1024,
+                    tracker);
+    uint64_t cycle = 0;
+    for (auto _ : state) {
+        q.push(cycle, 0, {cycle}, TaskIndex{});
+        ++cycle;
+        auto t = q.pop(cycle, 0);
+        benchmark::DoNotOptimize(t);
+        if (t)
+            tracker.erase(tracker.keyOf(*t));
+    }
+}
+BENCHMARK(BM_TaskQueuePushPop)->Arg(1)->Arg(4);
+
+void
+BM_CacheAccess(benchmark::State &state)
+{
+    MemorySystem mem;
+    Rng rng(3);
+    uint64_t cycle = 0;
+    const uint64_t span = static_cast<uint64_t>(state.range(0));
+    for (auto _ : state) {
+        uint64_t addr = (rng.below(span)) * 8;
+        benchmark::DoNotOptimize(mem.request(cycle, addr, false));
+        cycle += 4;
+    }
+}
+// 8 KB working set (fits) vs 8 MB (thrashes the 64 KB cache).
+BENCHMARK(BM_CacheAccess)->Arg(1024)->Arg(1024 * 1024);
+
+void
+BM_RoadNetworkGeneration(benchmark::State &state)
+{
+    for (auto _ : state) {
+        CsrGraph g = roadNetwork(32, 32, 0.08, 0.05, 100, 1);
+        benchmark::DoNotOptimize(g.numEdges());
+    }
+}
+BENCHMARK(BM_RoadNetworkGeneration);
+
+} // namespace
+} // namespace apir
+
+BENCHMARK_MAIN();

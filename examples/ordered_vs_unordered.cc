@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Ordered-vs-unordered scenario: the same SPEC-SSSP specification
+ * synthesized with three scheduling policies (pure speculative
+ * Bellman-Ford, delta-stepping-style buckets, strict distance order),
+ * run on identical hardware. This is the trade-off of Hassaan et
+ * al. [21] that the paper's Section 6.3 flooding observation points
+ * at: more order means less wasted speculation but less parallelism.
+ */
+
+#include <cstdio>
+
+#include "apps/sssp.hh"
+#include "graph/generators.hh"
+#include "hw/accelerator.hh"
+#include "support/logging.hh"
+#include "support/str.hh"
+
+using namespace apir;
+
+int
+main()
+{
+    setQuietLogging(true);
+    CsrGraph g = roadNetwork(48, 48, 0.08, 0.05, 1000, 42);
+    auto ref = ssspSequential(g, 0);
+    std::printf("road network: %u vertices, %llu arcs\n\n",
+                g.numVertices(),
+                static_cast<unsigned long long>(g.numEdges()));
+
+    struct Policy
+    {
+        const char *name;
+        SsspOrdering ordering;
+    };
+    const Policy policies[] = {
+        {"unordered (Bellman-Ford)", SsspOrdering::Unordered},
+        {"bucketed (delta-stepping)", SsspOrdering::Bucketed},
+        {"strict (Dijkstra-like)", SsspOrdering::Strict},
+    };
+
+    TextTable table({"policy", "cycles", "tasks", "squashed",
+                     "utilization", "time(us)"});
+    for (const Policy &p : policies) {
+        MemorySystem mem;
+        auto app = buildSpecSssp(g, 0, mem, p.ordering);
+        AccelConfig cfg;
+        cfg.pipelinesPerSet = 4;
+        Accelerator accel(app.spec, cfg, mem);
+        RunResult rr = accel.run();
+        APIR_ASSERT(readDistances(app.img, mem) == ref,
+                    "policy produced wrong distances");
+        table.addRow(
+            {p.name,
+             strprintf("%llu",
+                       static_cast<unsigned long long>(rr.cycles)),
+             strprintf("%llu", static_cast<unsigned long long>(
+                                   rr.tasksExecuted)),
+             strprintf("%llu",
+                       static_cast<unsigned long long>(rr.squashed)),
+             strprintf("%.1f%%", 100.0 * rr.utilization),
+             strprintf("%.1f", rr.seconds * 1e6)});
+    }
+    std::printf("%s\n", table.render().c_str());
+    std::printf("all three policies verified against Dijkstra. More "
+                "order = fewer wasted\nrelaxations; less order = more "
+                "tokens in flight. The framework expresses the\nwhole "
+                "spectrum with one enum (a heap task queue plus an "
+                "order key).\n");
+    return 0;
+}

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Breadth-first search, the paper's motivating benchmark, in all its
+ * forms:
+ *
+ *  - bfsSequential():       the Figure 1(a) reference algorithm;
+ *  - bfsParallelThreads():  level-synchronous std::thread version
+ *                           (Leiserson-style, Fig. 9's 10-core
+ *                           counterpart);
+ *  - bfsParallelEmulated(): the same algorithm with per-round
+ *                           multicore timing emulation (see cpumodel);
+ *  - buildSpecBfs():        SPEC-BFS accelerator (Section 4.2's
+ *                           speculative rule, squash on conflicting
+ *                           earlier writes);
+ *  - buildCoorBfs():        COOR-BFS accelerator (level-ordered
+ *                           coordination via the otherwise trigger);
+ *  - specBfsAppSpec() /
+ *    coorBfsAppSpec():      the same designs in the pure-software
+ *                           abstraction (core/), for the debugging
+ *                           runtimes.
+ *
+ * Level convention: Level[root] = 0; unreached = kInfDistance.
+ */
+
+#ifndef APIR_APPS_BFS_HH
+#define APIR_APPS_BFS_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "compile/accel_spec.hh"
+#include "core/app_spec.hh"
+#include "cpumodel/multicore.hh"
+#include "apps/graph_mem.hh"
+#include "graph/csr.hh"
+
+namespace apir {
+
+/** Sequential BFS (Figure 1(a)). */
+std::vector<uint32_t> bfsSequential(const CsrGraph &g, VertexId root);
+
+/** Level-synchronous parallel BFS with real threads. */
+std::vector<uint32_t> bfsParallelThreads(const CsrGraph &g, VertexId root,
+                                         uint32_t threads);
+
+/** Result of an emulated-multicore run. */
+struct EmulatedRun
+{
+    std::vector<uint32_t> values;
+    double seconds = 0.0;
+};
+
+/** Level-synchronous parallel BFS under multicore timing emulation. */
+EmulatedRun bfsParallelEmulated(const CsrGraph &g, VertexId root,
+                                const MulticoreConfig &cfg);
+
+/** A built accelerator application: spec + the image it references. */
+struct BfsAccel
+{
+    AcceleratorSpec spec;
+    GraphImage img;
+};
+
+/** SPEC-BFS accelerator design (two task sets, speculative rule). */
+BfsAccel buildSpecBfs(const CsrGraph &g, VertexId root, MemorySystem &mem);
+
+/** COOR-BFS accelerator design (one task set, level coordination). */
+BfsAccel buildCoorBfs(const CsrGraph &g, VertexId root, MemorySystem &mem);
+
+/** Read the level array back from accelerator memory. */
+std::vector<uint32_t> readLevels(const GraphImage &img,
+                                 const MemorySystem &mem);
+
+/**
+ * Software-abstraction versions (AppSpec) operating on a host-side
+ * level array; `levels` must outlive execution.
+ */
+AppSpec specBfsAppSpec(const CsrGraph &g, VertexId root,
+                       std::shared_ptr<std::vector<uint32_t>> levels);
+AppSpec coorBfsAppSpec(const CsrGraph &g, VertexId root,
+                       std::shared_ptr<std::vector<uint32_t>> levels);
+
+} // namespace apir
+
+#endif // APIR_APPS_BFS_HH

@@ -1,0 +1,18 @@
+#include "apps/graph_mem.hh"
+
+namespace apir {
+
+GraphImage
+mapGraph(const CsrGraph &g, MemorySystem &mem, Word init)
+{
+    GraphImage img;
+    img.numVertices = g.numVertices();
+    img.rowPtr = mem.image().mapArray(g.rowPtr());
+    img.cols = mem.image().mapArray(g.cols());
+    img.weights = mem.image().mapArray(g.weights());
+    std::vector<Word> prop(g.numVertices(), init);
+    img.prop = mem.image().mapArray(prop);
+    return img;
+}
+
+} // namespace apir

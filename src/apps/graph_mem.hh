@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Mapping of a CSR graph and its property array into the accelerator
+ * memory image, shared by the BFS and SSSP benchmarks. One 8-byte
+ * word per element (see mem/image.hh).
+ */
+
+#ifndef APIR_APPS_GRAPH_MEM_HH
+#define APIR_APPS_GRAPH_MEM_HH
+
+#include "graph/csr.hh"
+#include "mem/memsys.hh"
+
+namespace apir {
+
+/** Base addresses of a graph laid out in accelerator memory. */
+struct GraphImage
+{
+    uint64_t rowPtr = 0;
+    uint64_t cols = 0;
+    uint64_t weights = 0;
+    uint64_t prop = 0; //!< per-vertex property (level / distance)
+    VertexId numVertices = 0;
+
+    uint64_t rowPtrAddr(uint64_t v) const { return rowPtr + v * kWordBytes; }
+    uint64_t colAddr(uint64_t e) const { return cols + e * kWordBytes; }
+    uint64_t weightAddr(uint64_t e) const
+    {
+        return weights + e * kWordBytes;
+    }
+    uint64_t propAddr(uint64_t v) const { return prop + v * kWordBytes; }
+};
+
+/**
+ * Map graph arrays and a property array (initialized to `init`) into
+ * the image.
+ */
+GraphImage mapGraph(const CsrGraph &g, MemorySystem &mem, Word init);
+
+} // namespace apir
+
+#endif // APIR_APPS_GRAPH_MEM_HH

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * SPEC-SSSP: speculative single-source shortest paths over
+ * Bellman-Ford relaxations (Section 6.1). Each Relax task updates a
+ * vertex with the minimum of its current distance and the distance
+ * induced by a neighbor; a rule broadcasts committing distances so
+ * in-flight tasks that can no longer improve a vertex squash early.
+ *
+ * Distance convention: dist[root] = 0; unreached = kInfDistance.
+ */
+
+#ifndef APIR_APPS_SSSP_HH
+#define APIR_APPS_SSSP_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "compile/accel_spec.hh"
+#include "core/app_spec.hh"
+#include "apps/bfs.hh" // EmulatedRun
+#include "apps/graph_mem.hh"
+#include "cpumodel/multicore.hh"
+#include "graph/csr.hh"
+
+namespace apir {
+
+/** Dijkstra reference distances. */
+std::vector<uint32_t> ssspSequential(const CsrGraph &g, VertexId root);
+
+/** Round-synchronous Bellman-Ford with real threads. */
+std::vector<uint32_t> ssspParallelThreads(const CsrGraph &g, VertexId root,
+                                          uint32_t threads);
+
+/** Round-synchronous Bellman-Ford under multicore timing emulation. */
+EmulatedRun ssspParallelEmulated(const CsrGraph &g, VertexId root,
+                                 const MulticoreConfig &cfg);
+
+/** Work profile of a Bellman-Ford run (for the Xeon timing model). */
+struct SsspWorkProfile
+{
+    uint64_t relaxationsAttempted = 0; //!< edges scanned from frontiers
+    uint64_t improvements = 0;         //!< successful distance writes
+    uint64_t rounds = 0;
+};
+SsspWorkProfile ssspWorkProfile(const CsrGraph &g, VertexId root);
+
+/** A built SSSP accelerator. */
+struct SsspAccel
+{
+    AcceleratorSpec spec;
+    GraphImage img;
+};
+
+/**
+ * Task-scheduling policy of the generated SSSP — the
+ * ordered/unordered spectrum of Hassaan et al. [21]:
+ *  - Unordered: FIFO queues, pure speculative Bellman-Ford (floods
+ *    pipelines with dominated relaxations at scale);
+ *  - Bucketed:  heap queue ordered by distance/256, delta-stepping
+ *    style (the shipped default);
+ *  - Strict:    heap queue ordered by exact distance, Dijkstra-like
+ *    (minimal work, least parallelism).
+ */
+enum class SsspOrdering { Unordered, Bucketed, Strict };
+
+/** SPEC-SSSP accelerator design. */
+SsspAccel buildSpecSssp(const CsrGraph &g, VertexId root,
+                        MemorySystem &mem,
+                        SsspOrdering ordering = SsspOrdering::Bucketed);
+
+/** Read distances back from accelerator memory. */
+std::vector<uint32_t> readDistances(const GraphImage &img,
+                                    const MemorySystem &mem);
+
+/** Software-abstraction SPEC-SSSP (AppSpec). */
+AppSpec specSsspAppSpec(const CsrGraph &g, VertexId root,
+                        std::shared_ptr<std::vector<uint32_t>> dist);
+
+} // namespace apir
+
+#endif // APIR_APPS_SSSP_HH

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Model of the Altera-OpenCL-synthesized BFS of Section 2.2: two
+ * kernels invoked iteratively by the host over the board-level
+ * interconnect. Kernel 1 scans all vertices and marks unvisited
+ * neighbors of the frontier; kernel 2 scans all vertices, commits the
+ * marks, and reports whether any vertex changed. Barriers end every
+ * kernel, so newly created work is spilled to memory and re-read next
+ * round.
+ *
+ * The model executes the algorithm functionally (so results can be
+ * checked) and prices each round as: two kernel-launch overheads plus
+ * the round's memory traffic through the same QPI bandwidth the
+ * generated accelerators use. This reproduces the Table 1 comparison
+ * without the closed-source AOCL toolchain.
+ */
+
+#ifndef APIR_BASELINE_AOCL_BFS_HH
+#define APIR_BASELINE_AOCL_BFS_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr.hh"
+
+namespace apir {
+
+/** Cost parameters of the OpenCL execution model. */
+struct AoclConfig
+{
+    /**
+     * Host-side cost of one kernel invocation (enqueue, board
+     * handshake, completion interrupt). OpenCL launches over PCIe
+     * are canonically ~0.1 ms.
+     */
+    double launchOverheadSec = 1e-4;
+    /** Link bandwidth for kernel data, bytes/second. */
+    double bandwidthBytesPerSec = 7.0e9;
+    /** Extra fixed cycles per vertex scanned (pipeline II). */
+    double scanHz = 200e6;
+};
+
+/** Result of a modeled AOCL-BFS run. */
+struct AoclResult
+{
+    std::vector<uint32_t> levels;
+    uint64_t iterations = 0; //!< host loop rounds
+    uint64_t bytesMoved = 0;
+    double seconds = 0.0;
+};
+
+/** Run the two-kernel BFS model. */
+AoclResult aoclBfs(const CsrGraph &g, VertexId root,
+                   const AoclConfig &cfg = AoclConfig{});
+
+} // namespace apir
+
+#endif // APIR_BASELINE_AOCL_BFS_HH

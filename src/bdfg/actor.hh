@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Actors of the Boolean dataflow graph IR (Section 5.1). A task body
+ * is lowered to a DAG of these primitive operations; each maps to a
+ * parameterized hardware template (Section 5.2) in the simulator.
+ *
+ * Functional behaviour is carried by lambdas on the actor (the
+ * timing/functional split of DESIGN.md §4): the simulator decides
+ * *when* an actor fires, the lambdas decide *what* it computes.
+ */
+
+#ifndef APIR_BDFG_ACTOR_HH
+#define APIR_BDFG_ACTOR_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <utility>
+
+#include "bdfg/token.hh"
+#include "core/rule.hh"
+#include "core/task.hh"
+
+namespace apir {
+
+/** The primitive-operation catalog. */
+enum class ActorKind : uint8_t {
+    Source,     //!< head of a pipeline; pops tasks from a task queue
+    Const,      //!< write an immediate into the token
+    Alu,        //!< pure computation on the token payload
+    Expand,     //!< emit one token per index in [begin, end)
+    Load,       //!< memory read via the (out-of-order) LSU
+    Store,      //!< memory write via the LSU
+    AllocRule,  //!< construct this task's rule in a rule-engine lane
+    Event,      //!< broadcast "task reached this operation"
+    Rendezvous, //!< await the rule verdict; sets token.pred
+    Switch,     //!< boolean steer: out0 if pred, out1 otherwise
+    Enqueue,    //!< activate a new task into a task queue
+    Commit,     //!< apply a functional side effect to program state
+    Sink,       //!< consume tokens
+};
+
+const char *actorKindName(ActorKind kind);
+
+using ActorId = uint32_t;
+inline constexpr ActorId kNoActor = 0xffffffffu;
+
+/**
+ * One BDFG actor. Only the hooks relevant to its kind are set; the
+ * verifier enforces this.
+ */
+struct Actor
+{
+    ActorId id = kNoActor;
+    ActorKind kind = ActorKind::Sink;
+    std::string name;
+    uint16_t numIn = 1;
+    uint16_t numOut = 1;
+    /** Pipeline latency (cycles) of this operation's template. */
+    uint32_t latency = 1;
+
+    // --- functional hooks (kind-dependent) ---
+    /** Alu/Const: transform the token in place. */
+    std::function<void(Token &)> compute;
+    /** Load/Store: byte address referenced by this token. */
+    std::function<uint64_t(const Token &)> addr;
+    /** Load: payload slot receiving the loaded word. */
+    uint8_t loadDst = 0;
+    /** Store: value to write. */
+    std::function<Word(const Token &)> storeValue;
+    /**
+     * Store: model the memory traffic but do not update functional
+     * state. Used when a Commit actor is the architectural write and
+     * the store only prices its memory-system cost; a functional
+     * write at LSU-completion time would race later commits.
+     */
+    bool storeTimingOnly = false;
+    /** Expand: half-open induction range emitted for this token. */
+    std::function<std::pair<uint64_t, uint64_t>(const Token &)> range;
+    /** Expand: payload slot receiving the induction variable. */
+    uint8_t expandSlot = 0;
+    /** Enqueue: destination task set. */
+    TaskSetId enqueueSet = 0;
+    /** Enqueue/AllocRule/Event: payload or parameters or event words. */
+    std::function<std::array<Word, kMaxPayloadWords>(const Token &)>
+        payload;
+    /** AllocRule: rule type constructed. */
+    RuleId rule = kNoRule;
+    /** Event: operation id broadcast on the event bus. */
+    OpId eventOp = 0;
+    /** Switch: predicate; defaults to token.pred when unset. */
+    std::function<bool(const Token &)> pred;
+    /** Commit: side effect on program state (runs exactly once). */
+    std::function<void(Token &)> sideEffect;
+};
+
+} // namespace apir
+
+#endif // APIR_BDFG_ACTOR_HH

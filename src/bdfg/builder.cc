@@ -1,0 +1,214 @@
+#include "bdfg/builder.hh"
+
+#include "support/logging.hh"
+
+namespace apir {
+
+PipelineBuilder::PipelineBuilder(std::string name, TaskSetId set,
+                                 OpLatencies lat)
+    : graph_(std::move(name), set), lat_(lat)
+{
+    Actor src;
+    src.kind = ActorKind::Source;
+    src.name = "source";
+    src.latency = 1;
+    ActorId id = graph_.addActor(std::move(src));
+    tail_ = {id, 0};
+}
+
+ActorId
+PipelineBuilder::append(Actor a)
+{
+    APIR_ASSERT(open_, "appending to a terminated path in '",
+                graph_.name(), "'");
+    ActorId id = graph_.addActor(std::move(a));
+    graph_.connect(tail_, {id, 0});
+    if (graph_.actor(id).kind == ActorKind::Sink) {
+        open_ = false;
+    } else if (graph_.actor(id).kind == ActorKind::Switch) {
+        open_ = false; // must pick a path() explicitly
+    } else {
+        tail_ = {id, 0};
+    }
+    return id;
+}
+
+PipelineBuilder &
+PipelineBuilder::alu(const std::string &name,
+                     std::function<void(Token &)> fn, uint32_t latency)
+{
+    Actor a;
+    a.kind = ActorKind::Alu;
+    a.name = name;
+    a.latency = latency ? latency : lat_.alu;
+    a.compute = std::move(fn);
+    append(std::move(a));
+    return *this;
+}
+
+PipelineBuilder &
+PipelineBuilder::load(const std::string &name,
+                      std::function<uint64_t(const Token &)> addr,
+                      uint8_t dst)
+{
+    Actor a;
+    a.kind = ActorKind::Load;
+    a.name = name;
+    a.addr = std::move(addr);
+    a.loadDst = dst;
+    append(std::move(a));
+    return *this;
+}
+
+PipelineBuilder &
+PipelineBuilder::store(const std::string &name,
+                       std::function<uint64_t(const Token &)> addr,
+                       std::function<Word(const Token &)> value)
+{
+    Actor a;
+    a.kind = ActorKind::Store;
+    a.name = name;
+    a.addr = std::move(addr);
+    a.storeValue = std::move(value);
+    append(std::move(a));
+    return *this;
+}
+
+PipelineBuilder &
+PipelineBuilder::storeTiming(const std::string &name,
+                             std::function<uint64_t(const Token &)> addr)
+{
+    Actor a;
+    a.kind = ActorKind::Store;
+    a.name = name;
+    a.addr = std::move(addr);
+    a.storeTimingOnly = true;
+    append(std::move(a));
+    return *this;
+}
+
+PipelineBuilder &
+PipelineBuilder::expand(
+    const std::string &name,
+    std::function<std::pair<uint64_t, uint64_t>(const Token &)> range,
+    uint8_t slot)
+{
+    Actor a;
+    a.kind = ActorKind::Expand;
+    a.name = name;
+    a.latency = lat_.expand;
+    a.range = std::move(range);
+    a.expandSlot = slot;
+    append(std::move(a));
+    return *this;
+}
+
+PipelineBuilder &
+PipelineBuilder::allocRule(
+    const std::string &name, RuleId rule,
+    std::function<std::array<Word, kMaxPayloadWords>(const Token &)> params)
+{
+    Actor a;
+    a.kind = ActorKind::AllocRule;
+    a.name = name;
+    a.latency = lat_.allocRule;
+    a.rule = rule;
+    a.payload = std::move(params);
+    append(std::move(a));
+    return *this;
+}
+
+PipelineBuilder &
+PipelineBuilder::event(
+    const std::string &name, OpId op,
+    std::function<std::array<Word, kMaxPayloadWords>(const Token &)> words)
+{
+    Actor a;
+    a.kind = ActorKind::Event;
+    a.name = name;
+    a.latency = lat_.event;
+    a.eventOp = op;
+    a.payload = std::move(words);
+    append(std::move(a));
+    return *this;
+}
+
+PipelineBuilder &
+PipelineBuilder::rendezvous(const std::string &name)
+{
+    Actor a;
+    a.kind = ActorKind::Rendezvous;
+    a.name = name;
+    append(std::move(a));
+    return *this;
+}
+
+PipelineBuilder &
+PipelineBuilder::enqueue(
+    const std::string &name, TaskSetId set,
+    std::function<std::array<Word, kMaxPayloadWords>(const Token &)>
+        payload)
+{
+    Actor a;
+    a.kind = ActorKind::Enqueue;
+    a.name = name;
+    a.latency = lat_.enqueue;
+    a.enqueueSet = set;
+    a.payload = std::move(payload);
+    append(std::move(a));
+    return *this;
+}
+
+PipelineBuilder &
+PipelineBuilder::commit(const std::string &name,
+                        std::function<void(Token &)> fn, uint32_t latency)
+{
+    Actor a;
+    a.kind = ActorKind::Commit;
+    a.name = name;
+    a.latency = latency ? latency : lat_.commit;
+    a.sideEffect = std::move(fn);
+    append(std::move(a));
+    return *this;
+}
+
+ActorId
+PipelineBuilder::switchOn(const std::string &name,
+                          std::function<bool(const Token &)> fn)
+{
+    Actor a;
+    a.kind = ActorKind::Switch;
+    a.name = name;
+    a.pred = std::move(fn);
+    return append(std::move(a));
+}
+
+PipelineBuilder &
+PipelineBuilder::path(ActorId switch_actor, uint16_t port)
+{
+    APIR_ASSERT(graph_.actor(switch_actor).kind == ActorKind::Switch,
+                "path() must start at a Switch");
+    APIR_ASSERT(port < 2, "Switch has ports 0 and 1");
+    tail_ = {switch_actor, port};
+    open_ = true;
+    return *this;
+}
+
+PipelineBuilder &
+PipelineBuilder::sink(const std::string &name)
+{
+    Actor a;
+    a.kind = ActorKind::Sink;
+    a.name = name;
+    append(std::move(a));
+    return *this;
+}
+
+BdfgGraph
+PipelineBuilder::build()
+{
+    graph_.verify();
+    return std::move(graph_);
+}
+
+} // namespace apir

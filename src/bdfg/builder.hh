@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Fluent construction of task-pipeline BDFGs. This is the "systematic
+ * manner" of Section 5.1 packaged as a library: applications chain
+ * primitive operations from the Source, fork at Switch actors, and
+ * the builder wires the FIFO edges.
+ */
+
+#ifndef APIR_BDFG_BUILDER_HH
+#define APIR_BDFG_BUILDER_HH
+
+#include <string>
+#include <utility>
+
+#include "bdfg/graph.hh"
+
+namespace apir {
+
+/** Default pipeline latencies (cycles at 200 MHz) per template. */
+struct OpLatencies
+{
+    uint32_t alu = 1;
+    uint32_t expand = 1;
+    uint32_t allocRule = 2; //!< allocator handshake
+    uint32_t event = 1;
+    uint32_t enqueue = 1;
+    uint32_t commit = 2;
+};
+
+/** Builder of one task set's pipeline. */
+class PipelineBuilder
+{
+  public:
+    PipelineBuilder(std::string name, TaskSetId set,
+                    OpLatencies lat = OpLatencies{});
+
+    /** Pure computation on the token; latency 0 = template default. */
+    PipelineBuilder &alu(const std::string &name,
+                         std::function<void(Token &)> fn,
+                         uint32_t latency = 0);
+
+    /** Memory read into payload slot dst. */
+    PipelineBuilder &load(const std::string &name,
+                          std::function<uint64_t(const Token &)> addr,
+                          uint8_t dst);
+
+    /** Memory write. */
+    PipelineBuilder &store(const std::string &name,
+                           std::function<uint64_t(const Token &)> addr,
+                           std::function<Word(const Token &)> value);
+
+    /**
+     * Memory write that only models traffic; the architectural value
+     * was already written by a Commit actor.
+     */
+    PipelineBuilder &
+    storeTiming(const std::string &name,
+                std::function<uint64_t(const Token &)> addr);
+
+    /** Emit one token per induction value in range(token). */
+    PipelineBuilder &
+    expand(const std::string &name,
+           std::function<std::pair<uint64_t, uint64_t>(const Token &)>
+               range,
+           uint8_t slot);
+
+    /** Construct this task's rule with the given parameters. */
+    PipelineBuilder &
+    allocRule(const std::string &name, RuleId rule,
+              std::function<std::array<Word, kMaxPayloadWords>(
+                  const Token &)> params);
+
+    /** Broadcast an event on the rule-engine event bus. */
+    PipelineBuilder &
+    event(const std::string &name, OpId op,
+          std::function<std::array<Word, kMaxPayloadWords>(const Token &)>
+              words);
+
+    /** Await the rule verdict (sets token.pred). */
+    PipelineBuilder &rendezvous(const std::string &name);
+
+    /** Activate a new task of `set`. */
+    PipelineBuilder &
+    enqueue(const std::string &name, TaskSetId set,
+            std::function<std::array<Word, kMaxPayloadWords>(const Token &)>
+                payload);
+
+    /**
+     * Apply a functional side effect to program state; latency 0 =
+     * template default (deep commits model multi-cycle kernels).
+     */
+    PipelineBuilder &commit(const std::string &name,
+                            std::function<void(Token &)> fn,
+                            uint32_t latency = 0);
+
+    /**
+     * Fork on a predicate (token.pred when fn is null). Returns the
+     * Switch id; use path() to continue building along each branch
+     * and sink() / continue chaining to terminate them.
+     */
+    ActorId switchOn(const std::string &name,
+                     std::function<bool(const Token &)> fn = nullptr);
+
+    /** Continue building from output port (0 = true, 1 = false). */
+    PipelineBuilder &path(ActorId switch_actor, uint16_t port);
+
+    /** Terminate the current path in a Sink. */
+    PipelineBuilder &sink(const std::string &name);
+
+    /** Finish: verify and hand over the graph. */
+    BdfgGraph build();
+
+  private:
+    ActorId append(Actor a);
+
+    BdfgGraph graph_;
+    OpLatencies lat_;
+    PortRef tail_;
+    bool open_ = true; //!< current path still needs a successor
+};
+
+} // namespace apir
+
+#endif // APIR_BDFG_BUILDER_HH

@@ -1,0 +1,253 @@
+#include "bdfg/graph.hh"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+#include "support/logging.hh"
+
+namespace apir {
+
+const char *
+actorKindName(ActorKind kind)
+{
+    switch (kind) {
+      case ActorKind::Source:     return "Source";
+      case ActorKind::Const:      return "Const";
+      case ActorKind::Alu:        return "Alu";
+      case ActorKind::Expand:     return "Expand";
+      case ActorKind::Load:       return "Load";
+      case ActorKind::Store:      return "Store";
+      case ActorKind::AllocRule:  return "AllocRule";
+      case ActorKind::Event:      return "Event";
+      case ActorKind::Rendezvous: return "Rendezvous";
+      case ActorKind::Switch:     return "Switch";
+      case ActorKind::Enqueue:    return "Enqueue";
+      case ActorKind::Commit:     return "Commit";
+      case ActorKind::Sink:       return "Sink";
+    }
+    return "?";
+}
+
+ActorId
+BdfgGraph::addActor(Actor a)
+{
+    a.id = static_cast<ActorId>(actors_.size());
+    // Normalize port counts by kind.
+    switch (a.kind) {
+      case ActorKind::Source:
+        a.numIn = 0;
+        a.numOut = 1;
+        break;
+      case ActorKind::Switch:
+        a.numIn = 1;
+        a.numOut = 2;
+        break;
+      case ActorKind::Sink:
+        a.numIn = 1;
+        a.numOut = 0;
+        break;
+      default:
+        a.numIn = 1;
+        a.numOut = 1;
+        break;
+    }
+    actors_.push_back(std::move(a));
+    return actors_.back().id;
+}
+
+void
+BdfgGraph::connect(PortRef from, PortRef to, uint32_t capacity)
+{
+    edges_.push_back({from, to, capacity});
+}
+
+ActorId
+BdfgGraph::source() const
+{
+    for (const Actor &a : actors_)
+        if (a.kind == ActorKind::Source)
+            return a.id;
+    fatal("pipeline '", name_, "' has no Source actor");
+}
+
+std::vector<const BdfgEdge *>
+BdfgGraph::inEdges(ActorId id) const
+{
+    std::vector<const BdfgEdge *> out;
+    for (const BdfgEdge &e : edges_)
+        if (e.to.actor == id)
+            out.push_back(&e);
+    return out;
+}
+
+std::vector<const BdfgEdge *>
+BdfgGraph::outEdges(ActorId id) const
+{
+    std::vector<const BdfgEdge *> out;
+    for (const BdfgEdge &e : edges_)
+        if (e.from.actor == id)
+            out.push_back(&e);
+    return out;
+}
+
+void
+BdfgGraph::verify() const
+{
+    // Exactly one Source.
+    int sources = 0;
+    for (const Actor &a : actors_)
+        if (a.kind == ActorKind::Source)
+            ++sources;
+    if (sources != 1)
+        fatal("pipeline '", name_, "' has ", sources,
+              " Source actors (need exactly 1)");
+
+    // Port occupancy: every declared port connected exactly once.
+    std::map<std::pair<ActorId, uint16_t>, int> in_uses, out_uses;
+    for (const BdfgEdge &e : edges_) {
+        if (e.from.actor >= actors_.size() || e.to.actor >= actors_.size())
+            fatal("pipeline '", name_, "': edge references unknown actor");
+        ++out_uses[{e.from.actor, e.from.port}];
+        ++in_uses[{e.to.actor, e.to.port}];
+        if (e.from.port >= actors_[e.from.actor].numOut)
+            fatal("pipeline '", name_, "': actor '",
+                  actors_[e.from.actor].name, "' has no out port ",
+                  e.from.port);
+        if (e.to.port >= actors_[e.to.actor].numIn)
+            fatal("pipeline '", name_, "': actor '",
+                  actors_[e.to.actor].name, "' has no in port ", e.to.port);
+        if (e.capacity < 1)
+            fatal("pipeline '", name_, "': zero-capacity edge");
+    }
+    for (const Actor &a : actors_) {
+        for (uint16_t p = 0; p < a.numIn; ++p)
+            if (in_uses[{a.id, p}] != 1)
+                fatal("pipeline '", name_, "': actor '", a.name,
+                      "' in port ", p, " connected ", in_uses[{a.id, p}],
+                      " times");
+        for (uint16_t p = 0; p < a.numOut; ++p)
+            if (out_uses[{a.id, p}] != 1)
+                fatal("pipeline '", name_, "': actor '", a.name,
+                      "' out port ", p, " connected ", out_uses[{a.id, p}],
+                      " times");
+    }
+
+    // Kind-specific hooks.
+    for (const Actor &a : actors_) {
+        auto need = [&](bool ok, const char *what) {
+            if (!ok)
+                fatal("pipeline '", name_, "': ", actorKindName(a.kind),
+                      " actor '", a.name, "' missing ", what);
+        };
+        switch (a.kind) {
+          case ActorKind::Const:
+          case ActorKind::Alu:
+            need(static_cast<bool>(a.compute), "compute function");
+            break;
+          case ActorKind::Load:
+            need(static_cast<bool>(a.addr), "address function");
+            need(a.loadDst < kMaxPayloadWords, "valid load slot");
+            break;
+          case ActorKind::Store:
+            need(static_cast<bool>(a.addr), "address function");
+            need(a.storeTimingOnly || static_cast<bool>(a.storeValue),
+                 "value function");
+            break;
+          case ActorKind::Expand:
+            need(static_cast<bool>(a.range), "range function");
+            need(a.expandSlot < kMaxPayloadWords, "valid expand slot");
+            break;
+          case ActorKind::Enqueue:
+            need(static_cast<bool>(a.payload), "payload function");
+            break;
+          case ActorKind::AllocRule:
+            need(a.rule != kNoRule, "rule id");
+            need(static_cast<bool>(a.payload), "parameter function");
+            break;
+          case ActorKind::Event:
+            need(static_cast<bool>(a.payload), "event-word function");
+            break;
+          case ActorKind::Commit:
+            need(static_cast<bool>(a.sideEffect), "side effect");
+            break;
+          default:
+            break;
+        }
+    }
+
+    // Acyclic and reachable: topoOrder() fatals on cycles; check
+    // every actor is reached from the Source.
+    auto order = topoOrder();
+    if (order.size() != actors_.size())
+        fatal("pipeline '", name_, "': ",
+              actors_.size() - order.size(),
+              " actor(s) unreachable from the Source");
+}
+
+std::vector<ActorId>
+BdfgGraph::topoOrder() const
+{
+    // Kahn's algorithm over the subgraph reachable from the Source.
+    std::vector<uint32_t> indeg(actors_.size(), 0);
+    for (const BdfgEdge &e : edges_)
+        ++indeg[e.to.actor];
+
+    std::vector<ActorId> ready;
+    for (const Actor &a : actors_)
+        if (indeg[a.id] == 0)
+            ready.push_back(a.id);
+
+    std::vector<ActorId> order;
+    while (!ready.empty()) {
+        // Pop smallest id for deterministic order.
+        auto it = std::min_element(ready.begin(), ready.end());
+        ActorId id = *it;
+        ready.erase(it);
+        order.push_back(id);
+        for (const BdfgEdge &e : edges_) {
+            if (e.from.actor == id && --indeg[e.to.actor] == 0)
+                ready.push_back(e.to.actor);
+        }
+    }
+    if (order.size() != actors_.size()) {
+        // Distinguish cycle from disconnection for the caller: any
+        // remaining actor with nonzero indegree that is also on a
+        // cycle means the graph is cyclic.
+        for (const Actor &a : actors_) {
+            if (std::find(order.begin(), order.end(), a.id) == order.end()
+                && indeg[a.id] > 0) {
+                bool all_visited_preds = true;
+                for (const BdfgEdge &e : edges_) {
+                    if (e.to.actor == a.id &&
+                        std::find(order.begin(), order.end(),
+                                  e.from.actor) == order.end())
+                        all_visited_preds = false;
+                }
+                if (!all_visited_preds)
+                    fatal("pipeline '", name_, "' contains a cycle");
+            }
+        }
+    }
+    return order;
+}
+
+std::string
+BdfgGraph::toDot() const
+{
+    std::ostringstream os;
+    os << "digraph \"" << name_ << "\" {\n";
+    os << "  rankdir=TB;\n  node [shape=box, fontname=monospace];\n";
+    for (const Actor &a : actors_) {
+        os << "  a" << a.id << " [label=\"" << a.name << "\\n("
+           << actorKindName(a.kind) << ")\"];\n";
+    }
+    for (const BdfgEdge &e : edges_) {
+        os << "  a" << e.from.actor << " -> a" << e.to.actor
+           << " [label=\"" << e.from.port << ":" << e.to.port << "\"];\n";
+    }
+    os << "}\n";
+    return os.str();
+}
+
+} // namespace apir

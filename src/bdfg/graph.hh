@@ -1,0 +1,95 @@
+/**
+ * @file
+ * The Boolean dataflow graph of one task pipeline: actors connected
+ * by bounded FIFO edges, rooted at a Source that pops tasks from the
+ * task set's queue. Provides a structural verifier and Graphviz
+ * export.
+ */
+
+#ifndef APIR_BDFG_GRAPH_HH
+#define APIR_BDFG_GRAPH_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "bdfg/actor.hh"
+
+namespace apir {
+
+/** Reference to one port of one actor. */
+struct PortRef
+{
+    ActorId actor = kNoActor;
+    uint16_t port = 0;
+
+    bool operator==(const PortRef &) const = default;
+};
+
+/** A bounded FIFO edge between two ports. */
+struct BdfgEdge
+{
+    PortRef from;
+    PortRef to;
+    uint32_t capacity = 2;
+};
+
+/** The dataflow graph of one task set's pipeline. */
+class BdfgGraph
+{
+  public:
+    explicit BdfgGraph(std::string name, TaskSetId set = 0)
+        : name_(std::move(name)), taskSet_(set) {}
+
+    const std::string &name() const { return name_; }
+    TaskSetId taskSet() const { return taskSet_; }
+
+    /** Add an actor; fills in its id. Returns the id. */
+    ActorId addActor(Actor a);
+
+    /** Connect from.port -> to.port with a FIFO of given capacity. */
+    void connect(PortRef from, PortRef to, uint32_t capacity = 2);
+
+    /** Convenience: connect out-port 0 of a to in-port 0 of b. */
+    void
+    connect(ActorId a, ActorId b, uint32_t capacity = 2)
+    {
+        connect({a, 0}, {b, 0}, capacity);
+    }
+
+    const std::vector<Actor> &actors() const { return actors_; }
+    const std::vector<BdfgEdge> &edges() const { return edges_; }
+    const Actor &actor(ActorId id) const { return actors_.at(id); }
+    Actor &actor(ActorId id) { return actors_.at(id); }
+
+    /** The unique Source actor (verified to exist). */
+    ActorId source() const;
+
+    /** Edges entering / leaving a given actor. */
+    std::vector<const BdfgEdge *> inEdges(ActorId id) const;
+    std::vector<const BdfgEdge *> outEdges(ActorId id) const;
+
+    /**
+     * Structural verification: exactly one Source, ports fully and
+     * uniquely connected, kind-specific hooks present, graph acyclic
+     * and connected from the Source. Calls fatal() with a diagnostic
+     * on violation.
+     */
+    void verify() const;
+
+    /** Actors in topological order from the Source. */
+    std::vector<ActorId> topoOrder() const;
+
+    /** Graphviz dot rendering, for documentation and debugging. */
+    std::string toDot() const;
+
+  private:
+    std::string name_;
+    TaskSetId taskSet_;
+    std::vector<Actor> actors_;
+    std::vector<BdfgEdge> edges_;
+};
+
+} // namespace apir
+
+#endif // APIR_BDFG_GRAPH_HH

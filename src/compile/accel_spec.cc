@@ -1,0 +1,76 @@
+#include "compile/accel_spec.hh"
+
+#include <algorithm>
+#include <sstream>
+
+#include "support/logging.hh"
+
+namespace apir {
+
+void
+AcceleratorSpec::verify() const
+{
+    if (sets.empty())
+        fatal("design '", name, "' declares no task sets");
+    if (pipelines.size() != sets.size())
+        fatal("design '", name, "' needs one pipeline per task set");
+    for (size_t i = 0; i < pipelines.size(); ++i) {
+        pipelines[i].verify();
+        if (pipelines[i].taskSet() != i)
+            fatal("design '", name, "': pipeline ", i,
+                  " is bound to task set ", pipelines[i].taskSet());
+    }
+    for (const BdfgGraph &g : pipelines) {
+        for (const Actor &a : g.actors()) {
+            if (a.kind == ActorKind::Enqueue && a.enqueueSet >= sets.size())
+                fatal("design '", name, "': enqueue into unknown set ",
+                      a.enqueueSet);
+            if (a.kind == ActorKind::AllocRule && a.rule >= rules.size())
+                fatal("design '", name, "': unknown rule ", a.rule);
+        }
+    }
+    for (const SwTask &t : initial) {
+        if (t.set >= sets.size())
+            fatal("design '", name, "': initial task in unknown set ",
+                  t.set);
+    }
+}
+
+DesignStats
+analyzeDesign(const AcceleratorSpec &spec)
+{
+    DesignStats ds;
+    ds.taskSets = static_cast<uint32_t>(spec.sets.size());
+    for (const BdfgGraph &g : spec.pipelines) {
+        ds.actors += static_cast<uint32_t>(g.actors().size());
+        for (const Actor &a : g.actors()) {
+            if (a.kind == ActorKind::Load || a.kind == ActorKind::Store)
+                ++ds.memOps;
+            if (a.kind == ActorKind::AllocRule ||
+                a.kind == ActorKind::Rendezvous ||
+                a.kind == ActorKind::Event)
+                ++ds.ruleOps;
+        }
+        // Depth = longest path from Source, counting actors.
+        auto order = g.topoOrder();
+        std::vector<uint32_t> depth(g.actors().size(), 1);
+        for (ActorId id : order)
+            for (const BdfgEdge *e : g.outEdges(id))
+                depth[e->to.actor] =
+                    std::max(depth[e->to.actor], depth[id] + 1);
+        for (uint32_t d : depth)
+            ds.maxPipelineDepth = std::max(ds.maxPipelineDepth, d);
+    }
+    return ds;
+}
+
+std::string
+designToDot(const AcceleratorSpec &spec)
+{
+    std::ostringstream os;
+    for (const BdfgGraph &g : spec.pipelines)
+        os << g.toDot() << "\n";
+    return os.str();
+}
+
+} // namespace apir

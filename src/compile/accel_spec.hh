@@ -1,0 +1,71 @@
+/**
+ * @file
+ * The synthesizable description of one accelerator: task-set
+ * declarations, one BDFG pipeline per set, the rule types, the
+ * otherwise order key, and the host-seeded initial tasks. The hw
+ * module instantiates template hardware from this; the resource
+ * module prices it.
+ */
+
+#ifndef APIR_COMPILE_ACCEL_SPEC_HH
+#define APIR_COMPILE_ACCEL_SPEC_HH
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "bdfg/graph.hh"
+#include "core/rule.hh"
+#include "core/task.hh"
+
+namespace apir {
+
+/** A complete accelerator design in the dataflow MoC. */
+struct AcceleratorSpec
+{
+    std::string name;
+    std::vector<TaskSetDecl> sets;
+    /** pipelines[i] is the pipeline of sets[i]. */
+    std::vector<BdfgGraph> pipelines;
+    std::vector<RuleSpec> rules;
+
+    /**
+     * Order key for the otherwise trigger (see AppSpec::orderKey);
+     * defaults to the task's well-order index when unset.
+     */
+    std::function<uint64_t(const SwTask &)> orderKey;
+
+    /** Host-seeded initial tasks (indices assigned at injection). */
+    std::vector<SwTask> initial;
+
+    void
+    seed(TaskSetId set, std::array<Word, kMaxPayloadWords> data)
+    {
+        SwTask t;
+        t.set = set;
+        t.data = data;
+        initial.push_back(t);
+    }
+
+    /** Structural validation of the whole design. */
+    void verify() const;
+};
+
+/** Aggregate structural statistics of a design (for reports). */
+struct DesignStats
+{
+    uint32_t taskSets = 0;
+    uint32_t actors = 0;
+    uint32_t memOps = 0;
+    uint32_t ruleOps = 0; //!< AllocRule + Rendezvous + Event actors
+    uint32_t maxPipelineDepth = 0;
+};
+
+DesignStats analyzeDesign(const AcceleratorSpec &spec);
+
+/** Graphviz rendering of every pipeline in the design. */
+std::string designToDot(const AcceleratorSpec &spec);
+
+} // namespace apir
+
+#endif // APIR_COMPILE_ACCEL_SPEC_HH

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * An application specification in the paper's abstraction: task sets
+ * with bodies, rule types, and the binding between a task set's
+ * rendezvous and the rule it awaits.
+ *
+ * Task bodies are split at the (single, optional) rendezvous into a
+ * `pre` phase — runs from dispatch up to the rendezvous, creating the
+ * task's rule along the way — and a `post` phase that receives the
+ * rule's verdict and commits or squashes. All of the paper's
+ * benchmarks have exactly this shape (the rule guards the commit);
+ * tasks without a rendezvous simply complete in `pre`.
+ */
+
+#ifndef APIR_CORE_APP_SPEC_HH
+#define APIR_CORE_APP_SPEC_HH
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/rule.hh"
+#include "core/task.hh"
+
+namespace apir {
+
+class TaskContext;
+
+/**
+ * Body of a task set. `pre` returns true if the task plans a
+ * rendezvous (awaits its rule); `post` then runs with the verdict.
+ */
+struct TaskBody
+{
+    std::function<bool(TaskContext &, const SwTask &)> pre;
+    std::function<void(TaskContext &, const SwTask &, bool)> post;
+};
+
+/**
+ * Execution-context services available to task bodies, provided by
+ * whichever executor is running the application.
+ */
+class TaskContext
+{
+  public:
+    virtual ~TaskContext() = default;
+
+    /** Activate a new task of `set` (push into its task queue). */
+    virtual void activate(TaskSetId set,
+                          std::array<Word, kMaxPayloadWords> data) = 0;
+
+    /**
+     * Create this task's rule instance with constructor parameters.
+     * Only valid in `pre`, at most once per task.
+     */
+    virtual void createRule(RuleId rule,
+                            std::array<Word, kMaxPayloadWords> params) = 0;
+
+    /** Broadcast an event (this task reaching operation `op`). */
+    virtual void signalEvent(OpId op,
+                             std::array<Word, kMaxPayloadWords> words) = 0;
+
+    /**
+     * Run fn atomically with respect to other tasks' atomically()
+     * sections. Single-threaded executors run fn in place; the
+     * std::thread runtime serializes. Task bodies use this for
+     * commits to shared program state.
+     */
+    virtual void
+    atomically(const std::function<void()> &fn)
+    {
+        fn();
+    }
+};
+
+/** A complete application specification. */
+struct AppSpec
+{
+    std::string name;
+    std::vector<TaskSetDecl> sets;
+    std::vector<TaskBody> bodies;    //!< parallel to `sets`
+    std::vector<RuleSpec> rules;
+
+    /**
+     * Order key used by the `otherwise` trigger to decide which
+     * waiting tasks are "the minimum". Defaults to the task's
+     * well-order index; coordinative applications may order by a
+     * payload-derived key (e.g. BFS level), under which several tasks
+     * compare equal and fire together.
+     */
+    std::function<uint64_t(const SwTask &)> orderKey;
+
+    /** Initial tasks seeded by the host before execution starts. */
+    std::vector<SwTask> initial;
+
+    /** Seed an initial task of `set` with the given payload. */
+    void
+    seed(TaskSetId set, std::array<Word, kMaxPayloadWords> data)
+    {
+        SwTask t;
+        t.set = set;
+        t.data = data;
+        initial.push_back(t);
+    }
+};
+
+/** Statistics common to all executors. */
+struct ExecStats
+{
+    uint64_t executed = 0;       //!< tasks that ran to completion
+    uint64_t squashed = 0;       //!< tasks whose verdict was false
+    uint64_t ruleReturns = 0;    //!< verdicts produced by ECA clauses
+    uint64_t otherwiseFires = 0; //!< verdicts produced by `otherwise`
+    uint64_t livenessFallbacks = 0; //!< deadlock-break otherwise fires
+    uint64_t steps = 0;          //!< scheduler rounds (parallel) / pops
+    uint64_t maxLive = 0;        //!< peak concurrently-live tasks
+};
+
+} // namespace apir
+
+#endif // APIR_CORE_APP_SPEC_HH

@@ -1,0 +1,254 @@
+#include "core/parallel_executor.hh"
+
+#include <algorithm>
+
+#include "support/logging.hh"
+
+namespace apir {
+
+ParallelExecutor::ParallelExecutor(const AppSpec &spec, ParallelConfig cfg)
+    : spec_(spec), cfg_(cfg), queues_(spec.sets.size()),
+      counters_(spec.sets.size(), 0)
+{
+    APIR_ASSERT(spec.sets.size() == spec.bodies.size(),
+                "each task set needs a body");
+    APIR_ASSERT(cfg.workers >= 1, "need at least one worker");
+}
+
+ParallelExecutor::OrderKey
+ParallelExecutor::keyOf(const SwTask &t) const
+{
+    OrderKey k;
+    k.index = t.index;
+    if (spec_.orderKey)
+        k.custom = spec_.orderKey(t);
+    return k;
+}
+
+bool
+ParallelExecutor::keyLess(const OrderKey &a, const OrderKey &b) const
+{
+    if (spec_.orderKey)
+        return a.custom < b.custom;
+    return a.index < b.index;
+}
+
+bool
+ParallelExecutor::keyEq(const OrderKey &a, const OrderKey &b) const
+{
+    return !keyLess(a, b) && !keyLess(b, a);
+}
+
+void
+ParallelExecutor::activate(TaskSetId set,
+                           std::array<Word, kMaxPayloadWords> data)
+{
+    APIR_ASSERT(set < spec_.sets.size(), "bad task set id");
+    SwTask t;
+    t.set = set;
+    t.data = data;
+    TaskIndex parent = currentTask_ ? currentTask_->index : TaskIndex{};
+    t.index = childIndex(spec_.sets[set], parent, counters_[set]);
+    queues_[set].push_back(t);
+}
+
+void
+ParallelExecutor::createRule(RuleId rule,
+                             std::array<Word, kMaxPayloadWords> params)
+{
+    APIR_ASSERT(currentSlot_ >= 0, "createRule outside a task body");
+    APIR_ASSERT(rule < spec_.rules.size(), "bad rule id");
+    LiveTask &lt = slots_[currentSlot_];
+    APIR_ASSERT(!lt.hasRule, "task created two rules");
+    lt.hasRule = true;
+    lt.rule = rule;
+    lt.params.index = lt.task.index;
+    lt.params.words = params;
+}
+
+void
+ParallelExecutor::signalEvent(OpId op,
+                              std::array<Word, kMaxPayloadWords> words)
+{
+    EventData ev;
+    ev.op = op;
+    ev.index = currentTask_ ? currentTask_->index : TaskIndex{};
+    ev.words = words;
+
+    for (size_t i = 0; i < slots_.size(); ++i) {
+        if (static_cast<int>(i) == currentSlot_)
+            continue; // a rule never observes its parent's own events
+        LiveTask &lt = slots_[i];
+        if (!lt.hasRule || lt.verdictReady)
+            continue;
+        const RuleSpec &rs = spec_.rules[lt.rule];
+        for (const EcaClause &clause : rs.clauses) {
+            if (clause.eventOp != op)
+                continue;
+            if (clause.condition && !clause.condition(lt.params, ev))
+                continue;
+            lt.verdictReady = true;
+            lt.verdict = clause.action;
+            lt.viaClause = true;
+            break;
+        }
+    }
+}
+
+uint32_t
+ParallelExecutor::dispatch()
+{
+    uint32_t launched = 0;
+    uint32_t budget = cfg_.workers; // at most W dispatches per round
+    while (slots_.size() < cfg_.workers && budget > 0) {
+        // Round-robin over sets, FIFO within a set.
+        size_t tried = 0;
+        while (tried < queues_.size() && queues_[dispatchCursor_].empty()) {
+            dispatchCursor_ = (dispatchCursor_ + 1) % queues_.size();
+            ++tried;
+        }
+        if (tried == queues_.size() && queues_[dispatchCursor_].empty())
+            break; // all queues empty
+        SwTask task = queues_[dispatchCursor_].front();
+        queues_[dispatchCursor_].pop_front();
+        dispatchCursor_ = (dispatchCursor_ + 1) % queues_.size();
+        --budget;
+        ++launched;
+
+        slots_.push_back(LiveTask{});
+        slots_.back().task = task;
+        currentSlot_ = static_cast<int>(slots_.size() - 1);
+        currentTask_ = &slots_.back().task;
+        const TaskBody &body = spec_.bodies[task.set];
+        bool wants_rendezvous = body.pre(*this, slots_.back().task);
+        currentSlot_ = -1;
+        currentTask_ = nullptr;
+        if (!wants_rendezvous) {
+            // Completed without a rendezvous; free the slot.
+            APIR_ASSERT(!slots_.back().hasRule,
+                        "rule created but no rendezvous planned");
+            slots_.pop_back();
+            ++stats_.executed;
+        }
+        stats_.maxLive = std::max<uint64_t>(stats_.maxLive, slots_.size());
+    }
+    return launched;
+}
+
+void
+ParallelExecutor::finish(size_t slot_idx)
+{
+    // Move the task out: post() may activate/signal, which must not
+    // touch this slot anymore.
+    LiveTask lt = slots_[slot_idx];
+    slots_.erase(slots_.begin() + static_cast<long>(slot_idx));
+
+    // Re-insert temporarily to give post a context for events? No:
+    // post runs with currentSlot_ = -1 but currentTask_ set, so
+    // activate() inherits the right parent index and signalEvent()
+    // carries the right source index.
+    currentTask_ = &lt.task;
+    const TaskBody &body = spec_.bodies[lt.task.set];
+    body.post(*this, lt.task, lt.verdict);
+    currentTask_ = nullptr;
+    ++stats_.executed;
+    if (!lt.verdict)
+        ++stats_.squashed;
+    if (lt.viaClause)
+        ++stats_.ruleReturns;
+    else
+        ++stats_.otherwiseFires;
+}
+
+uint32_t
+ParallelExecutor::resolve(bool liveness_fallback)
+{
+    // Minimum order key over everything live or queued.
+    bool have_min = false;
+    OrderKey min_key;
+    auto consider = [&](const SwTask &t) {
+        OrderKey k = keyOf(t);
+        if (!have_min || keyLess(k, min_key)) {
+            min_key = k;
+            have_min = true;
+        }
+    };
+    for (const LiveTask &lt : slots_)
+        consider(lt.task);
+    for (const auto &q : queues_)
+        for (const SwTask &t : q)
+            consider(t);
+
+    // Decide verdicts: ECA-clause verdicts fire unconditionally; the
+    // otherwise clause fires for tasks at the minimum key.
+    for (LiveTask &lt : slots_) {
+        if (lt.verdictReady)
+            continue;
+        if (have_min && keyEq(keyOf(lt.task), min_key)) {
+            lt.verdictReady = true;
+            lt.verdict =
+                lt.hasRule ? spec_.rules[lt.rule].otherwise : true;
+            lt.viaClause = false;
+        }
+    }
+
+    if (liveness_fallback && !slots_.empty()) {
+        // Nothing fired last round: fire otherwise for the minimum
+        // *waiting* task even though a queued task orders first.
+        size_t best = 0;
+        for (size_t i = 1; i < slots_.size(); ++i)
+            if (keyLess(keyOf(slots_[i].task), keyOf(slots_[best].task)))
+                best = i;
+        if (!slots_[best].verdictReady) {
+            LiveTask &lt = slots_[best];
+            lt.verdictReady = true;
+            lt.verdict =
+                lt.hasRule ? spec_.rules[lt.rule].otherwise : true;
+            lt.viaClause = false;
+            ++stats_.livenessFallbacks;
+        }
+    }
+
+    // Run posts. finish() erases slots, so restart the scan after
+    // each completion (posts may also ready other verdicts).
+    uint32_t posts = 0;
+    bool progressed = true;
+    while (progressed) {
+        progressed = false;
+        for (size_t i = 0; i < slots_.size(); ++i) {
+            if (slots_[i].verdictReady) {
+                finish(i);
+                ++posts;
+                progressed = true;
+                break;
+            }
+        }
+    }
+    return posts;
+}
+
+ExecStats
+ParallelExecutor::run()
+{
+    stats_ = ExecStats{};
+    for (const SwTask &t : spec_.initial)
+        activate(t.set, t.data);
+
+    bool stalled = false;
+    for (;;) {
+        bool any_queued = false;
+        for (const auto &q : queues_)
+            any_queued |= !q.empty();
+        if (!any_queued && slots_.empty())
+            break;
+
+        ++stats_.steps;
+        uint32_t launched = dispatch();
+        uint32_t posts = resolve(stalled);
+        stalled = (launched == 0 && posts == 0);
+        APIR_ASSERT(stats_.steps < (1ull << 40), "executor wedged");
+    }
+    return stats_;
+}
+
+} // namespace apir

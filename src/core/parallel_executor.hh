@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Deterministic aggressive-parallel executor over the task/rule
+ * abstraction (Section 4.2.1): W worker slots, FIFO task queues,
+ * events broadcast to live rules, and the `otherwise` clause fired
+ * for the minimum waiting task(s). Whether the execution is
+ * speculative or coordinative is entirely expressed by the
+ * application's rules, exactly as in the paper.
+ *
+ * This executor is single-threaded and round-based, so results and
+ * statistics are reproducible; the std::thread-based runtime of
+ * Section 4.4 lives in threaded_runtime.hh.
+ */
+
+#ifndef APIR_CORE_PARALLEL_EXECUTOR_HH
+#define APIR_CORE_PARALLEL_EXECUTOR_HH
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "core/app_spec.hh"
+
+namespace apir {
+
+/** Configuration of the deterministic parallel executor. */
+struct ParallelConfig
+{
+    uint32_t workers = 8; //!< concurrent worker slots
+};
+
+/** Round-based deterministic executor of aggressively parallel apps. */
+class ParallelExecutor : public TaskContext
+{
+  public:
+    ParallelExecutor(const AppSpec &spec, ParallelConfig cfg);
+
+    /** Run to completion; returns execution statistics. */
+    ExecStats run();
+
+    // TaskContext interface.
+    void activate(TaskSetId set,
+                  std::array<Word, kMaxPayloadWords> data) override;
+    void createRule(RuleId rule,
+                    std::array<Word, kMaxPayloadWords> params) override;
+    void signalEvent(OpId op,
+                     std::array<Word, kMaxPayloadWords> words) override;
+
+  private:
+    /** One occupied worker slot: a task waiting at its rendezvous. */
+    struct LiveTask
+    {
+        SwTask task;
+        bool hasRule = false;
+        RuleId rule = kNoRule;
+        RuleParams params;
+        bool verdictReady = false;
+        bool verdict = false;
+        bool viaClause = false;
+    };
+
+    /** Order key of a task under the app's otherwise comparator. */
+    struct OrderKey
+    {
+        uint64_t custom = 0;
+        TaskIndex index;
+    };
+
+    OrderKey keyOf(const SwTask &t) const;
+    bool keyLess(const OrderKey &a, const OrderKey &b) const;
+    bool keyEq(const OrderKey &a, const OrderKey &b) const;
+
+    /** Fill free slots from the queues; returns tasks dispatched. */
+    uint32_t dispatch();
+    /** Deliver verdicts (clause or otherwise); returns posts run. */
+    uint32_t resolve(bool liveness_fallback);
+    void finish(size_t slot_idx);
+
+    const AppSpec &spec_;
+    ParallelConfig cfg_;
+    std::vector<std::deque<SwTask>> queues_;
+    std::vector<LiveTask> slots_;      //!< occupied slots only
+    std::vector<uint32_t> counters_;
+    size_t dispatchCursor_ = 0;        //!< round-robin over sets
+    int currentSlot_ = -1;             //!< slot running a body, or -1
+    const SwTask *currentTask_ = nullptr;
+    ExecStats stats_;
+};
+
+} // namespace apir
+
+#endif // APIR_CORE_PARALLEL_EXECUTOR_HH

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * The rule half of the paper's abstraction (Section 4.2): a rule is a
+ * promise created by a parent task and resolved either by an
+ * Event-Condition-Action clause matching a broadcast event, or by the
+ * obligatory `otherwise` clause, which fires when the parent is (one
+ * of) the minimum waiting tasks at its rendezvous — the liveness exit
+ * path.
+ *
+ * Following the paper's grammar, events are tasks reaching named
+ * operations (or task activations), conditions are boolean
+ * expressions over the triggering event's index/data and the rule's
+ * constructor parameters, and actions return a boolean that steers
+ * the parent's task tokens at the rendezvous.
+ */
+
+#ifndef APIR_CORE_RULE_HH
+#define APIR_CORE_RULE_HH
+
+#include <array>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/task.hh"
+
+namespace apir {
+
+/** A broadcast event: a task (identified by index) reached op. */
+struct EventData
+{
+    OpId op = 0;
+    TaskIndex index;
+    std::array<Word, kMaxPayloadWords> words{};
+};
+
+/** Constructor parameters captured when a task creates a rule. */
+struct RuleParams
+{
+    TaskIndex index;                          //!< parent's well-order
+    std::array<Word, kMaxPayloadWords> words{}; //!< forwarded variables
+};
+
+/** Condition over (rule params, triggering event). */
+using RuleCondition =
+    std::function<bool(const RuleParams &, const EventData &)>;
+
+/** ON event IF condition DO return action. */
+struct EcaClause
+{
+    OpId eventOp = 0;
+    RuleCondition condition;
+    bool action = false;
+};
+
+/**
+ * A rule type: any number of ECA clauses plus the obligatory
+ * otherwise clause value.
+ */
+struct RuleSpec
+{
+    std::string name;
+    std::vector<EcaClause> clauses;
+    bool otherwise = true;
+};
+
+} // namespace apir
+
+#endif // APIR_CORE_RULE_HH

@@ -1,0 +1,86 @@
+#include "core/seq_executor.hh"
+
+#include "support/logging.hh"
+
+namespace apir {
+
+SequentialExecutor::SequentialExecutor(const AppSpec &spec)
+    : spec_(spec), counters_(spec.sets.size(), 0)
+{
+    APIR_ASSERT(spec.sets.size() == spec.bodies.size(),
+                "each task set needs a body");
+}
+
+void
+SequentialExecutor::activate(TaskSetId set,
+                             std::array<Word, kMaxPayloadWords> data)
+{
+    APIR_ASSERT(set < spec_.sets.size(), "bad task set id");
+    SwTask t;
+    t.set = set;
+    t.data = data;
+    TaskIndex parent = current_ ? current_->index : TaskIndex{};
+    t.index = childIndex(spec_.sets[set], parent, counters_[set]);
+    active_.emplace(std::make_pair(t.index, arrivals_++), t);
+}
+
+void
+SequentialExecutor::createRule(RuleId rule,
+                               std::array<Word, kMaxPayloadWords> params)
+{
+    (void)params;
+    APIR_ASSERT(current_ != nullptr, "createRule outside a task body");
+    APIR_ASSERT(!ruleCreated_, "task created two rules");
+    APIR_ASSERT(rule < spec_.rules.size(), "bad rule id");
+    ruleCreated_ = true;
+    currentRule_ = rule;
+}
+
+void
+SequentialExecutor::signalEvent(OpId op,
+                                std::array<Word, kMaxPayloadWords> words)
+{
+    // No concurrent rules exist in sequential execution; events have
+    // no observer. (A task's own rule never observes its own events.)
+    (void)op;
+    (void)words;
+}
+
+ExecStats
+SequentialExecutor::run()
+{
+    stats_ = ExecStats{};
+    for (const SwTask &t : spec_.initial)
+        activate(t.set, t.data);
+
+    while (!active_.empty()) {
+        auto it = active_.begin();
+        SwTask task = it->second;
+        active_.erase(it);
+        ++stats_.steps;
+        current_ = &task;
+        ruleCreated_ = false;
+        currentRule_ = kNoRule;
+        const TaskBody &body = spec_.bodies[task.set];
+        bool wants_rendezvous = body.pre(*this, task);
+        if (wants_rendezvous) {
+            // Nothing ran between rule creation and the rendezvous,
+            // so the verdict is the rule's otherwise value (the task
+            // is trivially the minimum waiting task).
+            bool verdict = true;
+            if (ruleCreated_) {
+                verdict = spec_.rules[currentRule_].otherwise;
+                ++stats_.otherwiseFires;
+            }
+            body.post(*this, task, verdict);
+            if (!verdict)
+                ++stats_.squashed;
+        }
+        ++stats_.executed;
+        current_ = nullptr;
+        stats_.maxLive = 1;
+    }
+    return stats_;
+}
+
+} // namespace apir

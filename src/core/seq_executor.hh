@@ -1,0 +1,51 @@
+/**
+ * @file
+ * The sequential execution model of Definition 4.3: iteratively apply
+ * the minimum active task until no active task remains. This is the
+ * correctness reference every parallel executor (software or
+ * simulated hardware) is checked against.
+ */
+
+#ifndef APIR_CORE_SEQ_EXECUTOR_HH
+#define APIR_CORE_SEQ_EXECUTOR_HH
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "core/app_spec.hh"
+
+namespace apir {
+
+/** Sequential executor: one task at a time, in well-order. */
+class SequentialExecutor : public TaskContext
+{
+  public:
+    explicit SequentialExecutor(const AppSpec &spec);
+
+    /** Run to completion; returns execution statistics. */
+    ExecStats run();
+
+    // TaskContext interface.
+    void activate(TaskSetId set,
+                  std::array<Word, kMaxPayloadWords> data) override;
+    void createRule(RuleId rule,
+                    std::array<Word, kMaxPayloadWords> params) override;
+    void signalEvent(OpId op,
+                     std::array<Word, kMaxPayloadWords> words) override;
+
+  private:
+    const AppSpec &spec_;
+    /** Active tasks keyed by (index, arrival) for stable well-order. */
+    std::map<std::pair<TaskIndex, uint64_t>, SwTask> active_;
+    std::vector<uint32_t> counters_;
+    uint64_t arrivals_ = 0;
+    const SwTask *current_ = nullptr;
+    bool ruleCreated_ = false;
+    RuleId currentRule_ = kNoRule;
+    ExecStats stats_;
+};
+
+} // namespace apir
+
+#endif // APIR_CORE_SEQ_EXECUTOR_HH

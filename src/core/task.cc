@@ -1,0 +1,34 @@
+#include "core/task.hh"
+
+#include <sstream>
+
+#include "support/logging.hh"
+
+namespace apir {
+
+std::string
+TaskIndex::toString() const
+{
+    std::ostringstream os;
+    os << "{";
+    for (int i = 0; i < kMaxIndexDepth; ++i)
+        os << (i ? "," : "") << c[i];
+    os << "}";
+    return os.str();
+}
+
+TaskIndex
+childIndex(const TaskSetDecl &decl, const TaskIndex &parent,
+           uint32_t &counter)
+{
+    APIR_ASSERT(decl.depth < kMaxIndexDepth, "task set too deep");
+    TaskIndex idx;
+    for (int i = 0; i < decl.depth; ++i)
+        idx.c[i] = parent.c[i];
+    idx.c[decl.depth] =
+        decl.kind == TaskSetKind::ForEach ? counter++ : 0;
+    // Components deeper than decl.depth stay zero.
+    return idx;
+}
+
+} // namespace apir

@@ -1,0 +1,255 @@
+#include "core/threaded_runtime.hh"
+
+#include <algorithm>
+#include <thread>
+
+#include "support/logging.hh"
+
+namespace apir {
+
+namespace {
+
+/** The live entry the calling thread is currently executing. */
+thread_local void *tl_current = nullptr;
+
+} // namespace
+
+ThreadedRuntime::ThreadedRuntime(const AppSpec &spec, ThreadedConfig cfg)
+    : spec_(spec), cfg_(cfg), queues_(spec.sets.size()),
+      counters_(spec.sets.size(), 0)
+{
+    APIR_ASSERT(spec.sets.size() == spec.bodies.size(),
+                "each task set needs a body");
+    APIR_ASSERT(cfg.workers >= 1, "need at least one worker");
+}
+
+bool
+ThreadedRuntime::taskLess(const SwTask &a, const SwTask &b) const
+{
+    if (spec_.orderKey)
+        return spec_.orderKey(a) < spec_.orderKey(b);
+    return a.index < b.index;
+}
+
+bool
+ThreadedRuntime::taskEq(const SwTask &a, const SwTask &b) const
+{
+    return !taskLess(a, b) && !taskLess(b, a);
+}
+
+void
+ThreadedRuntime::activate(TaskSetId set,
+                          std::array<Word, kMaxPayloadWords> data)
+{
+    std::lock_guard<std::mutex> guard(lock_);
+    APIR_ASSERT(set < spec_.sets.size(), "bad task set id");
+    SwTask t;
+    t.set = set;
+    t.data = data;
+    auto *cur = static_cast<LiveEntry *>(tl_current);
+    TaskIndex parent = cur ? cur->task.index : TaskIndex{};
+    t.index = childIndex(spec_.sets[set], parent, counters_[set]);
+    queues_[set].push_back(t);
+    ++queuedCount_;
+    workAvailable_.notify_one();
+}
+
+void
+ThreadedRuntime::createRule(RuleId rule,
+                            std::array<Word, kMaxPayloadWords> params)
+{
+    std::lock_guard<std::mutex> guard(lock_);
+    auto *cur = static_cast<LiveEntry *>(tl_current);
+    APIR_ASSERT(cur != nullptr, "createRule outside a task body");
+    APIR_ASSERT(!cur->hasRule, "task created two rules");
+    APIR_ASSERT(rule < spec_.rules.size(), "bad rule id");
+    cur->hasRule = true;
+    cur->rule = rule;
+    cur->params.index = cur->task.index;
+    cur->params.words = params;
+}
+
+void
+ThreadedRuntime::signalEvent(OpId op,
+                             std::array<Word, kMaxPayloadWords> words)
+{
+    std::lock_guard<std::mutex> guard(lock_);
+    auto *cur = static_cast<LiveEntry *>(tl_current);
+    EventData ev;
+    ev.op = op;
+    ev.index = cur ? cur->task.index : TaskIndex{};
+    ev.words = words;
+
+    for (LiveEntry &entry : live_) {
+        if (&entry == cur)
+            continue; // rules never observe their parent's events
+        if (!entry.hasRule || entry.resolved)
+            continue;
+        const RuleSpec &rs = spec_.rules[entry.rule];
+        for (const EcaClause &clause : rs.clauses) {
+            if (clause.eventOp != op)
+                continue;
+            if (clause.condition && !clause.condition(entry.params, ev))
+                continue;
+            entry.resolved = true;
+            entry.viaClause = true;
+            ++stats_.ruleReturns;
+            entry.promise.set_value(clause.action);
+            break;
+        }
+    }
+}
+
+void
+ThreadedRuntime::atomically(const std::function<void()> &fn)
+{
+    std::lock_guard<std::mutex> guard(commitLock_);
+    fn();
+}
+
+bool
+ThreadedRuntime::popTask(SwTask &out)
+{
+    size_t tried = 0;
+    while (tried < queues_.size()) {
+        auto &q = queues_[queueCursor_];
+        queueCursor_ = (queueCursor_ + 1) % queues_.size();
+        ++tried;
+        if (!q.empty()) {
+            out = q.front();
+            q.pop_front();
+            --queuedCount_;
+            return true;
+        }
+    }
+    return false;
+}
+
+void
+ThreadedRuntime::checkOtherwise()
+{
+    // Minimum over every live or queued task.
+    const SwTask *min_task = nullptr;
+    for (const LiveEntry &entry : live_)
+        if (!min_task || taskLess(entry.task, *min_task))
+            min_task = &entry.task;
+    for (const auto &q : queues_)
+        for (const SwTask &t : q)
+            if (!min_task || taskLess(t, *min_task))
+                min_task = &t;
+    if (!min_task)
+        return;
+
+    bool fired = false;
+    size_t waiting = 0;
+    for (LiveEntry &entry : live_) {
+        if (!entry.waiting || entry.resolved)
+            continue;
+        ++waiting;
+        if (taskEq(entry.task, *min_task)) {
+            entry.resolved = true;
+            entry.viaClause = false;
+            ++stats_.otherwiseFires;
+            bool v = entry.hasRule ? spec_.rules[entry.rule].otherwise
+                                   : true;
+            entry.promise.set_value(v);
+            fired = true;
+        }
+    }
+
+    // Liveness fallback: all workers blocked at rendezvous and the
+    // minimum task sits in a queue nothing can drain. Fire the
+    // minimum waiting task.
+    if (!fired && waiting > 0 && live_.size() >= cfg_.workers &&
+        waiting == live_.size()) {
+        LiveEntry *best = nullptr;
+        for (LiveEntry &entry : live_)
+            if (!entry.resolved &&
+                (!best || taskLess(entry.task, best->task)))
+                best = &entry;
+        if (best) {
+            best->resolved = true;
+            best->viaClause = false;
+            ++stats_.otherwiseFires;
+            ++stats_.livenessFallbacks;
+            bool v = best->hasRule ? spec_.rules[best->rule].otherwise
+                                   : true;
+            best->promise.set_value(v);
+        }
+    }
+}
+
+void
+ThreadedRuntime::workerLoop()
+{
+    std::unique_lock<std::mutex> lk(lock_);
+    for (;;) {
+        workAvailable_.wait(lk, [&] { return done_ || queuedCount_ > 0; });
+        if (done_)
+            return;
+        SwTask task;
+        if (!popTask(task))
+            continue;
+
+        live_.emplace_back();
+        auto entry_it = std::prev(live_.end());
+        entry_it->task = task;
+        stats_.maxLive = std::max<uint64_t>(stats_.maxLive, live_.size());
+        tl_current = &*entry_it;
+
+        const TaskBody &body = spec_.bodies[task.set];
+        lk.unlock();
+        bool wants_rendezvous = body.pre(*this, entry_it->task);
+        lk.lock();
+
+        bool verdict = true;
+        if (wants_rendezvous) {
+            entry_it->waiting = true;
+            std::future<bool> fut = entry_it->promise.get_future();
+            checkOtherwise();
+            lk.unlock();
+            verdict = fut.get();
+            body.post(*this, entry_it->task, verdict);
+            lk.lock();
+        }
+
+        tl_current = nullptr;
+        live_.erase(entry_it);
+        ++stats_.executed;
+        if (wants_rendezvous && !verdict)
+            ++stats_.squashed;
+
+        // The minimum may have changed; resolve newly-minimum waiters.
+        checkOtherwise();
+
+        if (queuedCount_ == 0 && live_.empty()) {
+            done_ = true;
+            workAvailable_.notify_all();
+            return;
+        }
+    }
+}
+
+ExecStats
+ThreadedRuntime::run()
+{
+    stats_ = ExecStats{};
+    done_ = false;
+    for (const SwTask &t : spec_.initial)
+        activate(t.set, t.data);
+    {
+        std::lock_guard<std::mutex> guard(lock_);
+        if (queuedCount_ == 0)
+            done_ = true;
+    }
+
+    std::vector<std::thread> pool;
+    pool.reserve(cfg_.workers);
+    for (uint32_t i = 0; i < cfg_.workers; ++i)
+        pool.emplace_back([this] { workerLoop(); });
+    for (auto &t : pool)
+        t.join();
+    return stats_;
+}
+
+} // namespace apir

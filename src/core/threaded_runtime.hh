@@ -1,0 +1,90 @@
+/**
+ * @file
+ * The pure-software debugging runtime of Section 4.4: worker threads
+ * execute tasks, rules are promises resolved through std::future, and
+ * a rendezvous blocks its thread until either an ECA clause matches a
+ * broadcast event or the otherwise trigger fires for the minimum
+ * waiting task. Programmers use this to debug specifications in a
+ * plain multi-threaded environment before synthesis.
+ */
+
+#ifndef APIR_CORE_THREADED_RUNTIME_HH
+#define APIR_CORE_THREADED_RUNTIME_HH
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <list>
+#include <mutex>
+#include <vector>
+
+#include "core/app_spec.hh"
+
+namespace apir {
+
+/** Configuration for the threaded runtime. */
+struct ThreadedConfig
+{
+    uint32_t workers = 4;
+};
+
+/** std::thread / std::promise implementation of the abstraction. */
+class ThreadedRuntime : public TaskContext
+{
+  public:
+    ThreadedRuntime(const AppSpec &spec, ThreadedConfig cfg);
+
+    /** Run to completion; returns execution statistics. */
+    ExecStats run();
+
+    // TaskContext interface (callable from worker threads).
+    void activate(TaskSetId set,
+                  std::array<Word, kMaxPayloadWords> data) override;
+    void createRule(RuleId rule,
+                    std::array<Word, kMaxPayloadWords> params) override;
+    void signalEvent(OpId op,
+                     std::array<Word, kMaxPayloadWords> words) override;
+    void atomically(const std::function<void()> &fn) override;
+
+  private:
+    struct LiveEntry
+    {
+        SwTask task;
+        bool hasRule = false;
+        RuleId rule = kNoRule;
+        RuleParams params;
+        bool waiting = false;       //!< blocked at rendezvous
+        bool resolved = false;
+        std::promise<bool> promise; //!< the rule's promise (Def. 4.4)
+        bool viaClause = false;
+    };
+
+    void workerLoop();
+    /** Must hold lock_: fire otherwise for minimum waiting tasks. */
+    void checkOtherwise();
+    /** Must hold lock_: pick next queued task, FIFO round-robin. */
+    bool popTask(SwTask &out);
+    /** Order under the app's otherwise comparator. */
+    bool taskLess(const SwTask &a, const SwTask &b) const;
+    bool taskEq(const SwTask &a, const SwTask &b) const;
+
+    const AppSpec &spec_;
+    ThreadedConfig cfg_;
+
+    std::mutex lock_;
+    std::mutex commitLock_;
+    std::condition_variable workAvailable_;
+    std::vector<std::deque<SwTask>> queues_;
+    std::list<LiveEntry> live_;
+    std::vector<uint32_t> counters_;
+    size_t queueCursor_ = 0;
+    uint64_t queuedCount_ = 0;
+    uint32_t runningWorkers_ = 0;
+    bool done_ = false;
+    ExecStats stats_;
+};
+
+} // namespace apir
+
+#endif // APIR_CORE_THREADED_RUNTIME_HH

@@ -1,0 +1,43 @@
+#include "cpumodel/multicore.hh"
+
+#include <algorithm>
+
+#include "support/logging.hh"
+
+namespace apir {
+
+void
+MulticoreEmulator::beginRound()
+{
+    APIR_ASSERT(!inRound_, "nested rounds");
+    inRound_ = true;
+    roundStart_ = std::chrono::steady_clock::now();
+}
+
+void
+MulticoreEmulator::endRound(uint64_t tasks)
+{
+    APIR_ASSERT(inRound_, "endRound without beginRound");
+    inRound_ = false;
+    auto now = std::chrono::steady_clock::now();
+    double sec = std::chrono::duration<double>(now - roundStart_).count();
+    serialObservedSeconds_ += sec;
+
+    // Brent's bound with an efficiency factor and a memory ceiling.
+    double ideal = std::min<double>(cfg_.cores,
+                                    std::max<uint64_t>(tasks, 1));
+    double speedup =
+        std::min(std::max(1.0, ideal * cfg_.efficiency),
+                 cfg_.memSpeedupCap);
+    parallelSeconds_ += sec / speedup + cfg_.barrierSeconds;
+    ++rounds_;
+}
+
+void
+MulticoreEmulator::addSerial(double seconds)
+{
+    parallelSeconds_ += seconds;
+    serialObservedSeconds_ += seconds;
+}
+
+} // namespace apir

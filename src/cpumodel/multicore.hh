@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Multicore timing emulation for the Figure 9 software counterparts.
+ *
+ * The paper measures its parallel baselines on a 10-core Xeon; this
+ * container has one core, so std::thread cannot demonstrate scaling.
+ * Substitution (DESIGN.md §1): the parallel algorithms are executed
+ * round by round (level-synchronous BFS, Bellman-Ford sweeps, Kruskal
+ * batches, DMR rounds, LU waves) on one core while this emulator
+ * converts each round's measured work into P-core time with Brent's
+ * bound, a parallel-efficiency factor, a memory-bandwidth speedup
+ * ceiling, and a per-round barrier cost. The real std::thread
+ * implementations still exist and are what the tests check for
+ * correctness.
+ */
+
+#ifndef APIR_CPUMODEL_MULTICORE_HH
+#define APIR_CPUMODEL_MULTICORE_HH
+
+#include <chrono>
+#include <cstdint>
+
+namespace apir {
+
+/** Emulated machine parameters (defaults model the paper's Xeon). */
+struct MulticoreConfig
+{
+    uint32_t cores = 10;
+    /** Fraction of ideal scaling reached inside a round. */
+    double efficiency = 0.80;
+    /**
+     * Memory-bound ceiling: speedup of a round can never exceed
+     * this, no matter the core count (shared DRAM bandwidth).
+     */
+    double memSpeedupCap = 6.0;
+    /** Cost of the barrier/fork-join closing each round, seconds. */
+    double barrierSeconds = 3e-6;
+};
+
+/** Accumulates rounds and produces the emulated parallel time. */
+class MulticoreEmulator
+{
+  public:
+    explicit MulticoreEmulator(MulticoreConfig cfg = MulticoreConfig{})
+        : cfg_(cfg) {}
+
+    /** Start timing a round. */
+    void beginRound();
+
+    /**
+     * Close a round that executed `tasks` independent tasks; the
+     * elapsed single-core time since beginRound() is converted into
+     * emulated P-core time.
+     */
+    void endRound(uint64_t tasks);
+
+    /** Account an inherently serial section (no speedup). */
+    void addSerial(double seconds);
+
+    double emulatedSeconds() const { return parallelSeconds_; }
+    double sequentialSeconds() const { return serialObservedSeconds_; }
+    uint64_t rounds() const { return rounds_; }
+
+  private:
+    MulticoreConfig cfg_;
+    std::chrono::steady_clock::time_point roundStart_;
+    bool inRound_ = false;
+    double parallelSeconds_ = 0.0;
+    double serialObservedSeconds_ = 0.0;
+    uint64_t rounds_ = 0;
+};
+
+} // namespace apir
+
+#endif // APIR_CPUMODEL_MULTICORE_HH

@@ -1,0 +1,39 @@
+#include "cpumodel/xeon_model.hh"
+
+#include <algorithm>
+
+#include "support/logging.hh"
+
+namespace apir {
+
+double
+xeonTime(const WorkCounts &w, const XeonParams &p, uint32_t cores)
+{
+    APIR_ASSERT(cores >= 1, "need at least one core");
+
+    // Single-core resource times.
+    double compute = w.instructions / (p.ipc * p.freqHz) +
+                     w.flops / (p.flopsPerCycle * p.freqHz);
+    double random = w.randomAccesses * p.dramLatencySec / p.mlp;
+    double stream = w.streamedBytes / p.coreBwBytesPerSec;
+    double t1 = compute + random + stream;
+
+    if (cores == 1)
+        return t1;
+
+    // Parallel: the serial fraction stays; the rest scales by cores
+    // (with an efficiency factor) per resource, except streaming,
+    // which saturates the socket bandwidth.
+    double scale = cores * p.efficiency;
+    double par_compute = compute / scale;
+    double par_random = random / scale;
+    double par_stream =
+        w.streamedBytes /
+        std::min(cores * p.coreBwBytesPerSec, p.totalBwBytesPerSec);
+    double par = std::max({par_compute + par_random + par_stream,
+                           t1 / (cores * 4.0)}); // superlinear guard
+    return w.serialFraction * t1 + (1.0 - w.serialFraction) * par +
+           static_cast<double>(w.rounds) * p.barrierSec;
+}
+
+} // namespace apir

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Analytic timing model of the paper's software counterpart machine
+ * (Xeon E5-2680 v2, 10 cores, 2.8 GHz) for the Figure 9 comparison.
+ *
+ * Why a model: the paper's CPU baselines run memory-bound at
+ * USA-road scale (tens of millions of vertices). At the scaled-down
+ * sizes this repository simulates, a native run would be entirely
+ * cache-resident and the comparison's shape would invert. The model
+ * prices the same work the accelerator executed with a three-term
+ * roofline — instruction throughput, latency-bound random accesses
+ * (finite memory-level parallelism), and streamed bandwidth — plus
+ * Amdahl's serial fraction and per-round barrier costs, using the
+ * published characteristics of the paper's machine. Native measured
+ * times are still reported alongside by the bench for transparency.
+ */
+
+#ifndef APIR_CPUMODEL_XEON_MODEL_HH
+#define APIR_CPUMODEL_XEON_MODEL_HH
+
+#include <cstdint>
+
+namespace apir {
+
+/** Machine parameters; defaults model the Xeon E5-2680 v2. */
+struct XeonParams
+{
+    double freqHz = 2.8e9;
+    double ipc = 2.5;              //!< sustained instructions/cycle
+    double flopsPerCycle = 2.0;    //!< scalar FMA code (BOTS-style)
+    double dramLatencySec = 90e-9; //!< random-access latency
+    double mlp = 4.0;              //!< outstanding misses per core
+    double coreBwBytesPerSec = 12e9;  //!< per-core streaming bandwidth
+    double totalBwBytesPerSec = 50e9; //!< socket bandwidth
+    double barrierSec = 1e-6;      //!< fork/join or barrier cost
+    double efficiency = 0.85;      //!< parallel-region efficiency
+};
+
+/** Work executed by one benchmark run. */
+struct WorkCounts
+{
+    double instructions = 0;   //!< scalar ops outside FP kernels
+    double flops = 0;          //!< dense FP work (LU blocks)
+    double randomAccesses = 0; //!< cache-missing pointer-chases
+    double streamedBytes = 0;  //!< sequentially scanned data
+    double serialFraction = 0; //!< Amdahl serial part of t(1)
+    uint64_t rounds = 0;       //!< barrier-separated rounds
+};
+
+/** Modeled execution time on `cores` cores. */
+double xeonTime(const WorkCounts &w, const XeonParams &p, uint32_t cores);
+
+} // namespace apir
+
+#endif // APIR_CPUMODEL_XEON_MODEL_HH

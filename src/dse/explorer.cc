@@ -1,0 +1,148 @@
+#include "dse/explorer.hh"
+
+#include <algorithm>
+
+#include "support/logging.hh"
+#include "support/str.hh"
+
+namespace apir {
+
+namespace {
+
+/** Evaluate one candidate (prune by resources, else simulate). */
+DsePoint
+evaluate(const AcceleratorSpec &spec, AccelConfig cfg,
+         const DseRunner &runner, const DseOptions &opt,
+         DseResult &result)
+{
+    DsePoint p;
+    p.cfg = cfg;
+    p.resources = estimateResources(spec, cfg);
+    Resources t = p.resources.total();
+    p.fits = t.registers <= opt.device.registers &&
+             t.alms <= opt.device.alms &&
+             t.bramBits <= opt.device.bramBits;
+    if (!p.fits) {
+        ++result.pruned;
+        return p;
+    }
+    if (result.evaluations >= opt.maxEvaluations)
+        return p; // budget exhausted: fitting but unevaluated
+    auto [seconds, util] = runner(cfg);
+    p.evaluated = true;
+    p.seconds = seconds;
+    p.utilization = util;
+    ++result.evaluations;
+    return p;
+}
+
+/** Is a strictly better than b? (both must be evaluated). */
+bool
+better(const DsePoint &a, const DsePoint &b)
+{
+    if (!a.evaluated)
+        return false;
+    if (!b.evaluated)
+        return true;
+    return a.seconds < b.seconds;
+}
+
+} // namespace
+
+DseResult
+exploreDesignSpace(const AcceleratorSpec &spec, const AccelConfig &base,
+                   const DseRunner &runner, const DseOptions &options)
+{
+    DseResult result;
+    auto values_or = [](const std::vector<uint32_t> &vals, uint32_t dflt) {
+        return vals.empty() ? std::vector<uint32_t>{dflt} : vals;
+    };
+    auto pipes = values_or(options.pipelinesPerSet, base.pipelinesPerSet);
+    auto lanes = values_or(options.ruleLanes, base.ruleLanes);
+    auto banks = values_or(options.queueBanks, base.queueBanks);
+    auto lsus = values_or(options.lsuEntries, base.lsuEntries);
+
+    auto with = [&](uint32_t p, uint32_t l, uint32_t b, uint32_t e) {
+        AccelConfig cfg = base;
+        cfg.pipelinesPerSet = p;
+        cfg.ruleLanes = l;
+        cfg.rendezvousEntries = std::max(cfg.rendezvousEntries, l);
+        cfg.queueBanks = b;
+        cfg.lsuEntries = e;
+        return cfg;
+    };
+
+    if (!options.greedy) {
+        for (uint32_t p : pipes)
+            for (uint32_t l : lanes)
+                for (uint32_t b : banks)
+                    for (uint32_t e : lsus)
+                        result.points.push_back(evaluate(
+                            spec, with(p, l, b, e), runner, options,
+                            result));
+    } else {
+        // Coordinate descent from the middle of each dimension.
+        size_t ip = pipes.size() / 2, il = lanes.size() / 2,
+               ib = banks.size() / 2, ie = lsus.size() / 2;
+        auto eval_at = [&](size_t a, size_t b2, size_t c, size_t d) {
+            result.points.push_back(
+                evaluate(spec, with(pipes[a], lanes[b2], banks[c],
+                                    lsus[d]),
+                         runner, options, result));
+            return result.points.size() - 1;
+        };
+        size_t cur = eval_at(ip, il, ib, ie);
+        bool improved = true;
+        int rounds = 0;
+        while (improved && ++rounds < 8) {
+            improved = false;
+            auto try_dim = [&](size_t *idx, size_t limit, int dir,
+                               auto make) {
+                long next = static_cast<long>(*idx) + dir;
+                if (next < 0 || next >= static_cast<long>(limit))
+                    return;
+                size_t save = *idx;
+                *idx = static_cast<size_t>(next);
+                size_t cand = make();
+                if (better(result.points[cand], result.points[cur])) {
+                    cur = cand;
+                    improved = true;
+                } else {
+                    *idx = save;
+                }
+            };
+            auto mk = [&] { return eval_at(ip, il, ib, ie); };
+            for (int dir : {+1, -1}) {
+                try_dim(&ip, pipes.size(), dir, mk);
+                try_dim(&il, lanes.size(), dir, mk);
+                try_dim(&ib, banks.size(), dir, mk);
+                try_dim(&ie, lsus.size(), dir, mk);
+            }
+        }
+    }
+
+    // Winner: fastest evaluated fitting point.
+    bool found = false;
+    for (size_t i = 0; i < result.points.size(); ++i) {
+        if (!result.points[i].evaluated)
+            continue;
+        if (!found || better(result.points[i],
+                             result.points[result.bestIndex])) {
+            result.bestIndex = i;
+            found = true;
+        }
+    }
+    if (!found)
+        fatal("design-space exploration found no fitting configuration");
+    return result;
+}
+
+std::string
+describeConfig(const AccelConfig &cfg)
+{
+    return strprintf("pipes=%u lanes=%u banks=%u lsu=%u",
+                     cfg.pipelinesPerSet, cfg.ruleLanes, cfg.queueBanks,
+                     cfg.lsuEntries);
+}
+
+} // namespace apir

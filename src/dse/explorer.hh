@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Automatic design-space exploration over the template parameters —
+ * the paper's Section 8 future-work item ("how to automatically
+ * choose parameters for templated components when generating
+ * structures on FPGA... automatic design space explorations").
+ *
+ * The explorer sweeps pipeline replicas, rule-engine lanes, queue
+ * banks, and LSU entries; prunes configurations that do not fit the
+ * device using the resource model; evaluates the survivors on the
+ * cycle-level simulator; and returns the Pareto-best (fastest
+ * fitting) configuration. Exhaustive and greedy (coordinate-descent)
+ * strategies are provided; greedy typically evaluates an order of
+ * magnitude fewer points.
+ */
+
+#ifndef APIR_DSE_EXPLORER_HH
+#define APIR_DSE_EXPLORER_HH
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "compile/accel_spec.hh"
+#include "hw/config.hh"
+#include "resource/resource.hh"
+
+namespace apir {
+
+/** Outcome of simulating one candidate configuration. */
+struct DsePoint
+{
+    AccelConfig cfg;
+    ResourceReport resources;
+    bool fits = false;
+    bool evaluated = false;
+    double seconds = 0.0;     //!< simulated time (valid if evaluated)
+    double utilization = 0.0;
+};
+
+/** Candidate values per knob; empty dimension = keep the default. */
+struct DseOptions
+{
+    std::vector<uint32_t> pipelinesPerSet = {1, 2, 4, 8};
+    std::vector<uint32_t> ruleLanes = {8, 16, 32, 64};
+    std::vector<uint32_t> queueBanks = {1, 2, 4};
+    std::vector<uint32_t> lsuEntries = {4, 8, 16};
+    DeviceLimits device;
+    /** Greedy coordinate descent instead of the full product. */
+    bool greedy = false;
+    /** Upper bound on simulator evaluations (safety valve). */
+    uint32_t maxEvaluations = 256;
+};
+
+/** Exploration result: every point visited plus the winner. */
+struct DseResult
+{
+    std::vector<DsePoint> points;
+    size_t bestIndex = 0; //!< into points; fastest fitting evaluated
+    uint32_t evaluations = 0;
+    uint32_t pruned = 0; //!< rejected by the resource model
+
+    const DsePoint &best() const { return points.at(bestIndex); }
+};
+
+/**
+ * Evaluate one configuration: the caller's runner builds the
+ * application state and runs the simulator (a fresh MemorySystem per
+ * call), returning simulated seconds and utilization.
+ */
+using DseRunner =
+    std::function<std::pair<double, double>(const AccelConfig &)>;
+
+/**
+ * Explore the space for one design. `base` supplies all parameters
+ * the options do not sweep (memory system, host feeding, timeouts).
+ */
+DseResult exploreDesignSpace(const AcceleratorSpec &spec,
+                             const AccelConfig &base,
+                             const DseRunner &runner,
+                             const DseOptions &options = DseOptions{});
+
+/** One-line human summary of a configuration. */
+std::string describeConfig(const AccelConfig &cfg);
+
+} // namespace apir
+
+#endif // APIR_DSE_EXPLORER_HH

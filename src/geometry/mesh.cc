@@ -1,0 +1,310 @@
+#include "geometry/mesh.hh"
+
+#include <algorithm>
+#include <map>
+#include <utility>
+
+#include "support/logging.hh"
+#include "support/random.hh"
+
+namespace apir {
+
+Mesh::Mesh(double lo, double hi) : lo_(lo), hi_(hi)
+{
+    APIR_ASSERT(lo < hi, "degenerate bounding box");
+    // Corners: 0 = (lo,lo), 1 = (hi,lo), 2 = (hi,hi), 3 = (lo,hi).
+    points_ = {{lo, lo}, {hi, lo}, {hi, hi}, {lo, hi}};
+    TriId t0 = newTriangle(0, 1, 2);
+    TriId t1 = newTriangle(0, 2, 3);
+    // t0 edge opposite vertex slot 1 is (2, 0); t1 edge opposite
+    // vertex slot 2 is (0, 2). They coincide.
+    link(t0, 1, t1);
+    link(t1, 2, t0);
+}
+
+TriId
+Mesh::newTriangle(uint32_t a, uint32_t b, uint32_t c)
+{
+    APIR_ASSERT(orient2d(points_[a], points_[b], points_[c]) > 0.0,
+                "new triangle is not CCW");
+    Triangle t;
+    t.v[0] = a;
+    t.v[1] = b;
+    t.v[2] = c;
+    t.nbr[0] = t.nbr[1] = t.nbr[2] = kNoTri;
+    tris_.push_back(t);
+    ++numAlive_;
+    return static_cast<TriId>(tris_.size() - 1);
+}
+
+void
+Mesh::link(TriId t, int side, TriId u)
+{
+    tris_[t].nbr[side] = u;
+}
+
+uint32_t
+Mesh::addPoint(const Point &p)
+{
+    points_.push_back(p);
+    return static_cast<uint32_t>(points_.size() - 1);
+}
+
+TriId
+Mesh::locate(const Point &p, TriId hint) const
+{
+    if (!inDomain(p))
+        return kNoTri;
+    TriId cur = hint;
+    if (cur >= tris_.size() || !tris_[cur].alive) {
+        cur = kNoTri;
+        for (TriId t = 0; t < tris_.size(); ++t) {
+            if (tris_[t].alive) {
+                cur = t;
+                break;
+            }
+        }
+        APIR_ASSERT(cur != kNoTri, "mesh has no alive triangle");
+    }
+
+    // Straight walk: step across the edge the query point is outside
+    // of; bounded by triangle count to guard against cycles.
+    for (size_t steps = 0; steps <= tris_.size(); ++steps) {
+        const Triangle &t = tris_[cur];
+        int exit_side = -1;
+        for (int i = 0; i < 3; ++i) {
+            const Point &a = points_[t.v[(i + 1) % 3]];
+            const Point &b = points_[t.v[(i + 2) % 3]];
+            if (orient2d(a, b, p) < 0.0) {
+                exit_side = i;
+                break;
+            }
+        }
+        if (exit_side < 0)
+            return cur;
+        TriId next = t.nbr[exit_side];
+        if (next == kNoTri)
+            return kNoTri; // walked off the hull; p outside
+        cur = next;
+    }
+    panic("point location did not terminate");
+}
+
+std::vector<TriId>
+Mesh::cavity(const Point &p, TriId seed) const
+{
+    APIR_ASSERT(seed < tris_.size() && tris_[seed].alive,
+                "cavity seed is not an alive triangle");
+    std::vector<TriId> cav;
+    std::vector<TriId> stack{seed};
+    std::vector<bool> visited(tris_.size(), false);
+    visited[seed] = true;
+    while (!stack.empty()) {
+        TriId id = stack.back();
+        stack.pop_back();
+        const Triangle &t = tris_[id];
+        bool in = inCircle(points_[t.v[0]], points_[t.v[1]],
+                           points_[t.v[2]], p) > 0.0;
+        // The seed is always part of the cavity, even when p lies
+        // exactly on its circumcircle.
+        if (!in && id != seed)
+            continue;
+        cav.push_back(id);
+        for (int i = 0; i < 3; ++i) {
+            TriId n = t.nbr[i];
+            if (n != kNoTri && !visited[n] && tris_[n].alive) {
+                visited[n] = true;
+                stack.push_back(n);
+            }
+        }
+    }
+    std::sort(cav.begin(), cav.end());
+    return cav;
+}
+
+std::vector<TriId>
+Mesh::retriangulate(uint32_t v, const std::vector<TriId> &cav)
+{
+    APIR_ASSERT(!cav.empty(), "empty cavity");
+    std::vector<bool> in_cavity(tris_.size(), false);
+    for (TriId t : cav) {
+        APIR_ASSERT(tris_[t].alive, "cavity triangle already dead");
+        in_cavity[t] = true;
+    }
+
+    // Collect boundary edges (a, b) with the outside neighbor across
+    // each, oriented so that (v, a, b) is CCW.
+    struct BoundaryEdge
+    {
+        uint32_t a, b;
+        TriId outside;
+    };
+    std::vector<BoundaryEdge> boundary;
+    for (TriId id : cav) {
+        const Triangle &t = tris_[id];
+        for (int i = 0; i < 3; ++i) {
+            TriId n = t.nbr[i];
+            if (n == kNoTri || !in_cavity[n]) {
+                boundary.push_back(
+                    {t.v[(i + 1) % 3], t.v[(i + 2) % 3], n});
+            }
+        }
+    }
+    APIR_ASSERT(boundary.size() >= 3, "cavity boundary too small");
+
+    // Kill the cavity.
+    for (TriId id : cav) {
+        tris_[id].alive = false;
+        --numAlive_;
+    }
+
+    // Fan new triangles from v; remember which new triangle borders
+    // each boundary vertex on its 'a' side to sew the fan together.
+    std::vector<TriId> fresh;
+    std::map<uint32_t, TriId> by_first; // boundary edge first vertex -> tri
+    for (const auto &e : boundary) {
+        TriId nt = newTriangle(v, e.a, e.b);
+        fresh.push_back(nt);
+        by_first[e.a] = nt;
+        // External adjacency: new triangle's side opposite v is (a,b).
+        link(nt, 0, e.outside);
+        if (e.outside != kNoTri) {
+            Triangle &out = tris_[e.outside];
+            for (int i = 0; i < 3; ++i) {
+                uint32_t oa = out.v[(i + 1) % 3];
+                uint32_t ob = out.v[(i + 2) % 3];
+                if ((oa == e.a && ob == e.b) || (oa == e.b && ob == e.a))
+                    link(e.outside, i, nt);
+            }
+        }
+    }
+    // Internal adjacency: in triangle (v, a, b), the side opposite 'a'
+    // is edge (b, v) shared with the fan triangle whose boundary edge
+    // starts at b; the side opposite 'b' is edge (v, a) shared with
+    // the fan triangle whose boundary edge ends at a.
+    for (size_t i = 0; i < boundary.size(); ++i) {
+        TriId nt = fresh[i];
+        uint32_t b = boundary[i].b;
+        auto it = by_first.find(b);
+        APIR_ASSERT(it != by_first.end(), "open cavity boundary");
+        link(nt, 1, it->second);     // side opposite 'a' = (b, v)
+        link(it->second, 2, nt);     // their side opposite their 'b'
+    }
+    return fresh;
+}
+
+std::vector<TriId>
+Mesh::insertPoint(const Point &p, TriId hint)
+{
+    TriId seed = locate(p, hint);
+    if (seed == kNoTri)
+        return {};
+    // Reject exact duplicates of an existing vertex.
+    const Triangle &t = tris_[seed];
+    for (int i = 0; i < 3; ++i)
+        if (points_[t.v[i]] == p)
+            return {};
+    auto cav = cavity(p, seed);
+    uint32_t v = addPoint(p);
+    return retriangulate(v, cav);
+}
+
+void
+Mesh::checkConsistency() const
+{
+    for (TriId id = 0; id < tris_.size(); ++id) {
+        const Triangle &t = tris_[id];
+        if (!t.alive)
+            continue;
+        APIR_ASSERT(orient2d(points_[t.v[0]], points_[t.v[1]],
+                             points_[t.v[2]]) > 0.0,
+                    "triangle ", id, " is not CCW");
+        for (int i = 0; i < 3; ++i) {
+            TriId n = t.nbr[i];
+            if (n == kNoTri)
+                continue;
+            APIR_ASSERT(n < tris_.size(), "bad neighbor id");
+            APIR_ASSERT(tris_[n].alive, "triangle ", id,
+                        " points at dead neighbor ", n);
+            // Reciprocity: n must point back at id across same edge.
+            bool found = false;
+            for (int j = 0; j < 3; ++j)
+                if (tris_[n].nbr[j] == id)
+                    found = true;
+            APIR_ASSERT(found, "adjacency not reciprocal: ", id, " -> ", n);
+        }
+    }
+}
+
+bool
+Mesh::isDelaunay() const
+{
+    for (TriId id = 0; id < tris_.size(); ++id) {
+        const Triangle &t = tris_[id];
+        if (!t.alive)
+            continue;
+        for (int i = 0; i < 3; ++i) {
+            TriId n = t.nbr[i];
+            if (n == kNoTri)
+                continue;
+            // The vertex of n not shared with t must be outside t's
+            // circumcircle.
+            const Triangle &u = tris_[n];
+            for (int j = 0; j < 3; ++j) {
+                uint32_t w = u.v[j];
+                if (w != t.v[0] && w != t.v[1] && w != t.v[2]) {
+                    if (inCircle(points_[t.v[0]], points_[t.v[1]],
+                                 points_[t.v[2]], points_[w]) > 1e-12)
+                        return false;
+                }
+            }
+        }
+    }
+    return true;
+}
+
+Mesh
+randomDelaunayMesh(uint32_t num_points, uint64_t seed)
+{
+    Rng rng(seed);
+    Mesh mesh(0.0, 1.0);
+    TriId hint = 0;
+    for (uint32_t i = 0; i < num_points; ++i) {
+        Point p{0.02 + 0.96 * rng.real(), 0.02 + 0.96 * rng.real()};
+        auto fresh = mesh.insertPoint(p, hint);
+        if (!fresh.empty())
+            hint = fresh.front();
+    }
+    return mesh;
+}
+
+bool
+isBadTriangle(const Mesh &mesh, TriId t, double min_angle_rad,
+              double min_area)
+{
+    const Triangle &tri = mesh.triangle(t);
+    const Point &a = mesh.point(tri.v[0]);
+    const Point &b = mesh.point(tri.v[1]);
+    const Point &c = mesh.point(tri.v[2]);
+    double area = 0.5 * orient2d(a, b, c);
+    if (area < min_area)
+        return false; // too small to refine further; not "bad"
+    if (minAngle(a, b, c) >= min_angle_rad)
+        return false;
+    // Triangles whose circumcenter falls outside the domain cannot be
+    // refined by circumcenter insertion (no boundary-segment
+    // splitting in this simplified DMR); treat them as protected.
+    return mesh.inDomain(circumcenter(a, b, c));
+}
+
+std::vector<TriId>
+findBadTriangles(const Mesh &mesh, double min_angle_rad, double min_area)
+{
+    std::vector<TriId> bad;
+    for (TriId t = 0; t < mesh.triangles().size(); ++t)
+        if (mesh.alive(t) && isBadTriangle(mesh, t, min_angle_rad, min_area))
+            bad.push_back(t);
+    return bad;
+}
+
+} // namespace apir

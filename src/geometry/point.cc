@@ -1,0 +1,54 @@
+#include "geometry/point.hh"
+
+#include <algorithm>
+
+#include "support/logging.hh"
+
+namespace apir {
+
+double
+orient2d(const Point &a, const Point &b, const Point &c)
+{
+    return (b.x - a.x) * (c.y - a.y) - (b.y - a.y) * (c.x - a.x);
+}
+
+double
+inCircle(const Point &a, const Point &b, const Point &c, const Point &d)
+{
+    const double adx = a.x - d.x, ady = a.y - d.y;
+    const double bdx = b.x - d.x, bdy = b.y - d.y;
+    const double cdx = c.x - d.x, cdy = c.y - d.y;
+    const double ad = adx * adx + ady * ady;
+    const double bd = bdx * bdx + bdy * bdy;
+    const double cd = cdx * cdx + cdy * cdy;
+    return adx * (bdy * cd - bd * cdy) - ady * (bdx * cd - bd * cdx)
+         + ad * (bdx * cdy - bdy * cdx);
+}
+
+Point
+circumcenter(const Point &a, const Point &b, const Point &c)
+{
+    const double d = 2.0 * orient2d(a, b, c);
+    APIR_ASSERT(d != 0.0, "circumcenter of a flat triangle");
+    const double asq = a.x * a.x + a.y * a.y;
+    const double bsq = b.x * b.x + b.y * b.y;
+    const double csq = c.x * c.x + c.y * c.y;
+    return {(asq * (b.y - c.y) + bsq * (c.y - a.y) + csq * (a.y - b.y)) / d,
+            (asq * (c.x - b.x) + bsq * (a.x - c.x) + csq * (b.x - a.x)) / d};
+}
+
+double
+minAngle(const Point &a, const Point &b, const Point &c)
+{
+    auto angle = [](const Point &apex, const Point &u, const Point &v) {
+        Point e1 = u - apex, e2 = v - apex;
+        double dot = e1.x * e2.x + e1.y * e2.y;
+        double n1 = std::sqrt(e1.x * e1.x + e1.y * e1.y);
+        double n2 = std::sqrt(e2.x * e2.x + e2.y * e2.y);
+        double cosv = std::clamp(dot / (n1 * n2), -1.0, 1.0);
+        return std::acos(cosv);
+    };
+    return std::min({angle(a, b, c), angle(b, c, a), angle(c, a, b)});
+}
+
+} // namespace apir

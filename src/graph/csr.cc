@@ -1,0 +1,78 @@
+#include "graph/csr.hh"
+
+#include <algorithm>
+
+#include "support/logging.hh"
+
+namespace apir {
+
+CsrGraph::CsrGraph(VertexId num_vertices, std::vector<EdgeTriple> edges)
+    : numVertices_(num_vertices)
+{
+    rowPtr_.assign(static_cast<size_t>(num_vertices) + 1, 0);
+    for (const auto &e : edges) {
+        APIR_ASSERT(e.src < num_vertices && e.dst < num_vertices,
+                    "edge (", e.src, ",", e.dst, ") out of range");
+        ++rowPtr_[e.src + 1];
+    }
+    for (VertexId v = 0; v < num_vertices; ++v)
+        rowPtr_[v + 1] += rowPtr_[v];
+
+    cols_.resize(edges.size());
+    weights_.resize(edges.size());
+    std::vector<EdgeId> cursor(rowPtr_.begin(), rowPtr_.end() - 1);
+    for (const auto &e : edges) {
+        EdgeId slot = cursor[e.src]++;
+        cols_[slot] = e.dst;
+        weights_[slot] = e.weight;
+    }
+
+    // Sort each adjacency row by destination for deterministic
+    // traversal order independent of input edge order.
+    for (VertexId v = 0; v < num_vertices; ++v) {
+        EdgeId b = rowPtr_[v], e = rowPtr_[v + 1];
+        std::vector<std::pair<VertexId, uint32_t>> row;
+        row.reserve(e - b);
+        for (EdgeId i = b; i < e; ++i)
+            row.emplace_back(cols_[i], weights_[i]);
+        std::sort(row.begin(), row.end());
+        for (EdgeId i = b; i < e; ++i) {
+            cols_[i] = row[i - b].first;
+            weights_[i] = row[i - b].second;
+        }
+    }
+}
+
+VertexId
+CsrGraph::reachableFrom(VertexId root) const
+{
+    APIR_ASSERT(root < numVertices_, "root out of range");
+    std::vector<bool> seen(numVertices_, false);
+    std::vector<VertexId> stack{root};
+    seen[root] = true;
+    VertexId count = 0;
+    while (!stack.empty()) {
+        VertexId v = stack.back();
+        stack.pop_back();
+        ++count;
+        for (EdgeId e = rowBegin(v); e < rowEnd(v); ++e) {
+            VertexId d = edgeDst(e);
+            if (!seen[d]) {
+                seen[d] = true;
+                stack.push_back(d);
+            }
+        }
+    }
+    return count;
+}
+
+uint32_t
+CsrGraph::maxDegree() const
+{
+    uint32_t best = 0;
+    for (VertexId v = 0; v < numVertices_; ++v)
+        best = std::max(best, degree(v));
+    return best;
+}
+
+} // namespace apir

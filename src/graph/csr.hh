@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Compressed-sparse-row graph, the substrate under BFS, SSSP, and MST.
+ *
+ * Vertices are dense integers [0, numVertices). Edges are stored as a
+ * row-pointer array plus column/weight arrays, which is also the
+ * memory layout the simulated accelerator's load/store unit addresses
+ * (row pointers, adjacency, and per-vertex property arrays live at
+ * distinct base addresses in the functional memory).
+ */
+
+#ifndef APIR_GRAPH_CSR_HH
+#define APIR_GRAPH_CSR_HH
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace apir {
+
+using VertexId = uint32_t;
+using EdgeId = uint64_t;
+
+/** One weighted directed edge, used while building graphs. */
+struct EdgeTriple
+{
+    VertexId src;
+    VertexId dst;
+    uint32_t weight;
+};
+
+/**
+ * An immutable weighted digraph in CSR form. Undirected graphs are
+ * represented by storing both arcs.
+ */
+class CsrGraph
+{
+  public:
+    CsrGraph() = default;
+
+    /** Build from an edge list; edges may arrive in any order. */
+    CsrGraph(VertexId num_vertices, std::vector<EdgeTriple> edges);
+
+    VertexId numVertices() const { return numVertices_; }
+    EdgeId numEdges() const { return cols_.size(); }
+
+    /** Degree of v. */
+    uint32_t
+    degree(VertexId v) const
+    {
+        return static_cast<uint32_t>(rowPtr_[v + 1] - rowPtr_[v]);
+    }
+
+    /** First out-edge index of v. */
+    EdgeId rowBegin(VertexId v) const { return rowPtr_[v]; }
+    /** One-past-last out-edge index of v. */
+    EdgeId rowEnd(VertexId v) const { return rowPtr_[v + 1]; }
+
+    /** Destination of edge e. */
+    VertexId edgeDst(EdgeId e) const { return cols_[e]; }
+    /** Weight of edge e. */
+    uint32_t edgeWeight(EdgeId e) const { return weights_[e]; }
+
+    /** Raw arrays, exposed so the simulator can map them into memory. */
+    const std::vector<EdgeId> &rowPtr() const { return rowPtr_; }
+    const std::vector<VertexId> &cols() const { return cols_; }
+    const std::vector<uint32_t> &weights() const { return weights_; }
+
+    /** Number of vertices reachable from root (including root). */
+    VertexId reachableFrom(VertexId root) const;
+
+    /** Maximum out-degree over all vertices. */
+    uint32_t maxDegree() const;
+
+  private:
+    VertexId numVertices_ = 0;
+    std::vector<EdgeId> rowPtr_;
+    std::vector<VertexId> cols_;
+    std::vector<uint32_t> weights_;
+};
+
+/** Distance value meaning "not reached". */
+inline constexpr uint32_t kInfDistance = 0xffffffffu;
+
+} // namespace apir
+
+#endif // APIR_GRAPH_CSR_HH

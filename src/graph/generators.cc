@@ -1,0 +1,140 @@
+#include "graph/generators.hh"
+
+#include <set>
+#include <utility>
+
+#include "support/logging.hh"
+#include "support/random.hh"
+
+namespace apir {
+
+namespace {
+
+void
+addUndirected(std::vector<EdgeTriple> &edges, VertexId a, VertexId b,
+              uint32_t w)
+{
+    edges.push_back({a, b, w});
+    edges.push_back({b, a, w});
+}
+
+} // namespace
+
+CsrGraph
+roadNetwork(uint32_t rows, uint32_t cols, double delete_prob,
+            double diagonal_prob, uint32_t max_weight, uint64_t seed)
+{
+    APIR_ASSERT(rows >= 2 && cols >= 2, "lattice too small");
+    Rng rng(seed);
+    std::vector<EdgeTriple> edges;
+    auto id = [cols](uint32_t r, uint32_t c) { return r * cols + c; };
+    auto weight = [&] {
+        return static_cast<uint32_t>(rng.range(1, max_weight));
+    };
+
+    for (uint32_t r = 0; r < rows; ++r) {
+        for (uint32_t c = 0; c < cols; ++c) {
+            // Horizontal and vertical lattice edges, with deletions.
+            // Boundary edges are always kept so the graph stays
+            // connected (the boundary forms a spanning ring).
+            if (c + 1 < cols) {
+                bool boundary = (r == 0 || r == rows - 1);
+                if (boundary || !rng.chance(delete_prob))
+                    addUndirected(edges, id(r, c), id(r, c + 1), weight());
+            }
+            if (r + 1 < rows) {
+                bool boundary = (c == 0 || c == cols - 1);
+                if (boundary || !rng.chance(delete_prob))
+                    addUndirected(edges, id(r, c), id(r + 1, c), weight());
+            }
+            // Occasional diagonal shortcut (interchange ramps).
+            if (c + 1 < cols && r + 1 < rows && rng.chance(diagonal_prob))
+                addUndirected(edges, id(r, c), id(r + 1, c + 1), weight());
+        }
+    }
+    return CsrGraph(rows * cols, std::move(edges));
+}
+
+CsrGraph
+rmatGraph(uint32_t scale, uint32_t avg_degree, double a, double b, double c,
+          uint32_t max_weight, uint64_t seed)
+{
+    APIR_ASSERT(scale >= 1 && scale <= 30, "bad rmat scale");
+    Rng rng(seed);
+    const uint32_t n = 1u << scale;
+    const uint64_t m = static_cast<uint64_t>(n) * avg_degree;
+    std::set<std::pair<VertexId, VertexId>> seen;
+    std::vector<EdgeTriple> edges;
+    edges.reserve(m);
+    for (uint64_t i = 0; i < m; ++i) {
+        uint32_t src = 0, dst = 0;
+        for (uint32_t bit = 0; bit < scale; ++bit) {
+            double p = rng.real();
+            uint32_t sbit = 0, dbit = 0;
+            if (p < a) {
+                // top-left quadrant: nothing set
+            } else if (p < a + b) {
+                dbit = 1;
+            } else if (p < a + b + c) {
+                sbit = 1;
+            } else {
+                sbit = dbit = 1;
+            }
+            src = (src << 1) | sbit;
+            dst = (dst << 1) | dbit;
+        }
+        if (src == dst)
+            continue;
+        if (!seen.insert({src, dst}).second)
+            continue;
+        edges.push_back({src, dst,
+                         static_cast<uint32_t>(rng.range(1, max_weight))});
+    }
+    return CsrGraph(n, std::move(edges));
+}
+
+CsrGraph
+uniformGraph(uint32_t num_vertices, uint32_t avg_degree, uint32_t max_weight,
+             uint64_t seed)
+{
+    Rng rng(seed);
+    const uint64_t m = static_cast<uint64_t>(num_vertices) * avg_degree;
+    std::set<std::pair<VertexId, VertexId>> seen;
+    std::vector<EdgeTriple> edges;
+    edges.reserve(m);
+    for (uint64_t i = 0; i < m; ++i) {
+        auto src = static_cast<VertexId>(rng.below(num_vertices));
+        auto dst = static_cast<VertexId>(rng.below(num_vertices));
+        if (src == dst || !seen.insert({src, dst}).second)
+            continue;
+        edges.push_back({src, dst,
+                         static_cast<uint32_t>(rng.range(1, max_weight))});
+    }
+    return CsrGraph(num_vertices, std::move(edges));
+}
+
+CsrGraph
+pathGraph(uint32_t num_vertices, uint32_t branch, uint32_t max_weight,
+          uint64_t seed)
+{
+    APIR_ASSERT(branch >= 1, "branch must be >= 1");
+    Rng rng(seed);
+    std::vector<EdgeTriple> edges;
+    // Spine vertices are multiples of (branch); each spine vertex also
+    // fans out to (branch - 1) leaves hanging off it.
+    for (uint32_t v = 0; v < num_vertices; v += branch) {
+        uint32_t next = v + branch;
+        if (next < num_vertices) {
+            addUndirected(edges, v, next,
+                          static_cast<uint32_t>(rng.range(1, max_weight)));
+        }
+        for (uint32_t leaf = 1; leaf < branch && v + leaf < num_vertices;
+             ++leaf) {
+            addUndirected(edges, v, v + leaf,
+                          static_cast<uint32_t>(rng.range(1, max_weight)));
+        }
+    }
+    return CsrGraph(num_vertices, std::move(edges));
+}
+
+} // namespace apir

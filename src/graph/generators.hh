@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Synthetic graph generators.
+ *
+ * roadNetwork() is the stand-in for the DIMACS USA road graph used by
+ * the paper's BFS/SSSP experiments: a planar-ish lattice with random
+ * diagonals and deletions, so it has bounded degree, a very large
+ * diameter (thousands of BFS levels at modest sizes), and poor access
+ * locality — the properties the paper's results hinge on.
+ */
+
+#ifndef APIR_GRAPH_GENERATORS_HH
+#define APIR_GRAPH_GENERATORS_HH
+
+#include <cstdint>
+
+#include "graph/csr.hh"
+
+namespace apir {
+
+/**
+ * Road-network-like graph on a rows x cols lattice. Undirected (both
+ * arcs stored). Weights are uniform in [1, max_weight].
+ *
+ * @param rows lattice height
+ * @param cols lattice width
+ * @param delete_prob probability an edge of the lattice is removed
+ * @param diagonal_prob probability a diagonal shortcut is added
+ * @param max_weight maximum edge weight
+ * @param seed RNG seed
+ */
+CsrGraph roadNetwork(uint32_t rows, uint32_t cols,
+                     double delete_prob = 0.08,
+                     double diagonal_prob = 0.05,
+                     uint32_t max_weight = 1000,
+                     uint64_t seed = 1);
+
+/**
+ * RMAT power-law graph (Graph500-style probabilities by default).
+ * Directed; self-loops and duplicate edges are dropped.
+ */
+CsrGraph rmatGraph(uint32_t scale, uint32_t avg_degree,
+                   double a = 0.57, double b = 0.19, double c = 0.19,
+                   uint32_t max_weight = 255, uint64_t seed = 1);
+
+/** Erdos-Renyi-style uniform random digraph with n*avg_degree edges. */
+CsrGraph uniformGraph(uint32_t num_vertices, uint32_t avg_degree,
+                      uint32_t max_weight = 255, uint64_t seed = 1);
+
+/**
+ * A long path with optional bushy branches; worst case for
+ * level-synchronous schedules (diameter == num_vertices / branch).
+ */
+CsrGraph pathGraph(uint32_t num_vertices, uint32_t branch = 1,
+                   uint32_t max_weight = 10, uint64_t seed = 1);
+
+} // namespace apir
+
+#endif // APIR_GRAPH_GENERATORS_HH

@@ -1,0 +1,216 @@
+#include "hw/accelerator.hh"
+
+#include <algorithm>
+#include <map>
+
+#include "support/logging.hh"
+#include "support/str.hh"
+
+namespace apir {
+
+Accelerator::Accelerator(const AcceleratorSpec &spec,
+                         const AccelConfig &cfg, MemorySystem &mem)
+    : spec_(spec), cfg_(cfg), mem_(mem), tracker_(spec.orderKey)
+{
+    spec_.verify();
+
+    for (const RuleSpec &r : spec_.rules)
+        engines_.push_back(std::make_unique<RuleEngine>(r, cfg_.ruleLanes));
+
+    for (size_t s = 0; s < spec_.sets.size(); ++s) {
+        queues_.push_back(std::make_unique<TaskQueueUnit>(
+            spec_.sets[s], static_cast<TaskSetId>(s), cfg_.queueBanks,
+            cfg_.queueBankCapacity, tracker_));
+    }
+
+    ctx_.cfg = &cfg_;
+    ctx_.mem = &mem_;
+    ctx_.tracker = &tracker_;
+    ctx_.engines = &engines_;
+    ctx_.queues = &queues_;
+    ctx_.serial = &serial_;
+    ctx_.customKey = static_cast<bool>(spec_.orderKey);
+    ctx_.lastGlobalProgress = &lastProgressCycle_;
+
+    buildPipelines();
+}
+
+void
+Accelerator::buildPipelines()
+{
+    for (size_t s = 0; s < spec_.pipelines.size(); ++s) {
+        const BdfgGraph &g = spec_.pipelines[s];
+        // Rendezvous replicas of the same actor share one group: the
+        // otherwise minimum is taken "across all pipelines" (Fig. 8).
+        std::map<ActorId, RendezvousGroup *> groups;
+        for (const Actor &a : g.actors()) {
+            if (a.kind == ActorKind::Rendezvous) {
+                rdvGroups_.push_back(std::make_unique<RendezvousGroup>());
+                groups[a.id] = rdvGroups_.back().get();
+            }
+        }
+        for (uint32_t p = 0; p < cfg_.pipelinesPerSet; ++p) {
+            // One stage per actor for this replica.
+            std::map<ActorId, Stage *> local;
+            for (const Actor &a : g.actors()) {
+                RendezvousGroup *grp =
+                    groups.count(a.id) ? groups[a.id] : nullptr;
+                auto stage = makeStage(a, ctx_, static_cast<TaskSetId>(s),
+                                       p, spec_.orderKey, grp);
+                stage->setTraceLabel(g.name() + "/" + std::to_string(p) +
+                                     "/" + a.name);
+                local[a.id] = stage.get();
+                stages_.push_back(std::move(stage));
+            }
+            // One registered FIFO per edge.
+            for (const BdfgEdge &e : g.edges()) {
+                uint32_t cap = std::max(e.capacity, cfg_.fifoDepth);
+                fifos_.push_back(std::make_unique<SimFifo<Token>>(cap));
+                SimFifo<Token> *f = fifos_.back().get();
+                local[e.from.actor]->bindOutput(e.from.port, f);
+                local[e.to.actor]->bindInput(f);
+            }
+        }
+    }
+}
+
+void
+Accelerator::hostTick(uint64_t cycle)
+{
+    if (hostPos_ >= spec_.initial.size())
+        return;
+    if (cfg_.hostBatch == 0) {
+        // Pre-loaded mode: the host fills the queues as fast as they
+        // accept tasks.
+        while (hostPos_ < spec_.initial.size()) {
+            const SwTask &t = spec_.initial[hostPos_];
+            if (!queues_[t.set]->canPush())
+                break;
+            queues_[t.set]->push(cycle, t.set, t.data, TaskIndex{});
+            ++hostPos_;
+        }
+    } else if (cycle % cfg_.hostInterval == 0) {
+        // Incremental host feeding (SPEC-DMR / COOR-LU style).
+        for (uint32_t n = 0;
+             n < cfg_.hostBatch && hostPos_ < spec_.initial.size(); ++n) {
+            const SwTask &t = spec_.initial[hostPos_];
+            if (!queues_[t.set]->canPush())
+                break;
+            queues_[t.set]->push(cycle, t.set, t.data, TaskIndex{});
+            ++hostPos_;
+        }
+    }
+}
+
+bool
+Accelerator::done() const
+{
+    return tracker_.empty() && hostPos_ >= spec_.initial.size();
+}
+
+RunResult
+Accelerator::run()
+{
+    RunResult res;
+    uint64_t busy_stage_cycles = 0;
+    lastProgressCycle_ = 0;
+    uint64_t cycle = 0;
+
+    for (;; ++cycle) {
+        hostTick(cycle);
+        bool any_busy = false;
+        for (auto &stage : stages_) {
+            stage->tick(cycle);
+            if (stage->wasBusy()) {
+                ++busy_stage_cycles;
+                any_busy = true;
+            }
+        }
+        if (any_busy)
+            lastProgressCycle_ = cycle;
+        if (done())
+            break;
+        if (cycle - lastProgressCycle_ >
+            cfg_.otherwiseTimeout * 64 + 100000)
+            panic("accelerator '", spec_.name, "' deadlocked at cycle ",
+                  cycle, " with ", tracker_.size(), " live tasks");
+        if (cycle >= cfg_.maxCycles)
+            fatal("accelerator '", spec_.name, "' exceeded the cycle wall");
+    }
+
+    res.cycles = cycle + 1;
+    res.seconds = static_cast<double>(res.cycles) / cfg_.clockHz;
+    res.utilization =
+        stages_.empty()
+            ? 0.0
+            : static_cast<double>(busy_stage_cycles) /
+                  (static_cast<double>(stages_.size()) * res.cycles);
+
+    for (auto &q : queues_) {
+        res.tasksExecuted += q->pops();
+        res.tasksActivated += q->pushes();
+        StatGroup g("queue." + q->decl().name);
+        q->report(g);
+        res.groups.push_back(std::move(g));
+    }
+    for (auto &e : engines_) {
+        StatGroup g("rule." + e->spec().name);
+        e->report(g);
+        res.groups.push_back(std::move(g));
+    }
+    {
+        StatGroup g("mem");
+        mem_.report(g);
+        res.groups.push_back(std::move(g));
+    }
+    for (auto &s : stages_) {
+        if (auto *r = dynamic_cast<RendezvousStage *>(s.get()))
+            res.fallbackFires += r->fallbackFires();
+    }
+    for (auto &e : engines_) {
+        // Squashes delivered by rules: clause fires with action false
+        // plus otherwise fires with value false.
+        if (!e->spec().otherwise)
+            res.squashed += e->otherwiseFires();
+    }
+    // Count squash-path tokens by convention: sinks named "squash".
+    for (auto &s : stages_) {
+        if (s->actor().kind == ActorKind::Sink &&
+            s->actor().name.find("squash") != std::string::npos)
+            res.squashed += s->stats().tokens;
+    }
+
+    // Busy/stall/idle breakdown per primitive-operation kind, the
+    // raw material behind the utilization curves of Figure 10.
+    {
+        std::map<std::string, StageStats> by_kind;
+        for (auto &s : stages_) {
+            StageStats &agg = by_kind[actorKindName(s->actor().kind)];
+            agg.busy += s->stats().busy;
+            agg.stall += s->stats().stall;
+            agg.idle += s->stats().idle;
+            agg.tokens += s->stats().tokens;
+        }
+        StatGroup g("stages");
+        for (const auto &[kind, st] : by_kind) {
+            g.set(kind + ".busy", static_cast<double>(st.busy));
+            g.set(kind + ".stall", static_cast<double>(st.stall));
+            g.set(kind + ".idle", static_cast<double>(st.idle));
+            g.set(kind + ".tokens", static_cast<double>(st.tokens));
+        }
+        res.groups.push_back(std::move(g));
+    }
+
+    StatGroup sum("accel");
+    sum.set("cycles", static_cast<double>(res.cycles));
+    sum.set("stages", static_cast<double>(stages_.size()));
+    sum.set("utilization", res.utilization);
+    sum.set("tasks_executed", static_cast<double>(res.tasksExecuted));
+    sum.set("tasks_activated", static_cast<double>(res.tasksActivated));
+    sum.set("squashed", static_cast<double>(res.squashed));
+    sum.set("fallback_fires", static_cast<double>(res.fallbackFires));
+    res.groups.push_back(std::move(sum));
+    return res;
+}
+
+} // namespace apir

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * The generated accelerator (Figure 7): task queues popping tasks
+ * into replicated pipelines, a shared rule engine per rule type
+ * forwarding or squashing task tokens, and the problem-independent
+ * memory system, all advanced cycle by cycle. The host initializes
+ * the task queues (optionally feeding them incrementally) and waits
+ * for the FPGA to drain.
+ */
+
+#ifndef APIR_HW_ACCELERATOR_HH
+#define APIR_HW_ACCELERATOR_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "compile/accel_spec.hh"
+#include "hw/config.hh"
+#include "hw/rendezvous_group.hh"
+#include "hw/stage.hh"
+
+namespace apir {
+
+/** Outcome of one accelerator run. */
+struct RunResult
+{
+    uint64_t cycles = 0;
+    double seconds = 0.0;      //!< cycles / clockHz
+    double utilization = 0.0;  //!< avg active primitive ops / total ops
+    uint64_t tasksExecuted = 0;  //!< queue pops
+    uint64_t tasksActivated = 0; //!< queue pushes
+    uint64_t squashed = 0;       //!< false verdicts delivered
+    uint64_t fallbackFires = 0;  //!< liveness-fallback otherwise fires
+    std::vector<StatGroup> groups; //!< per-component statistics
+};
+
+/** Cycle-level model of one synthesized accelerator. */
+class Accelerator
+{
+  public:
+    /**
+     * Build the hardware for `spec` with template parameters `cfg`.
+     * The memory system is owned by the caller, which maps the
+     * application arrays into mem.image() beforehand and reads
+     * results back afterwards.
+     */
+    Accelerator(const AcceleratorSpec &spec, const AccelConfig &cfg,
+                MemorySystem &mem);
+
+    /** Run until all tasks drain. */
+    RunResult run();
+
+    /** Total stages instantiated (all replicas). */
+    size_t numStages() const { return stages_.size(); }
+
+  private:
+    void buildPipelines();
+    void hostTick(uint64_t cycle);
+    bool done() const;
+
+    const AcceleratorSpec &spec_;
+    AccelConfig cfg_;
+    MemorySystem &mem_;
+
+    LiveKeyTracker tracker_;
+    std::vector<std::unique_ptr<RuleEngine>> engines_;
+    std::vector<std::unique_ptr<TaskQueueUnit>> queues_;
+    std::vector<std::unique_ptr<SimFifo<Token>>> fifos_;
+    std::vector<std::unique_ptr<RendezvousGroup>> rdvGroups_;
+    std::vector<std::unique_ptr<Stage>> stages_;
+    uint64_t serial_ = 0;
+    HwContext ctx_;
+    size_t hostPos_ = 0;
+    uint64_t lastProgressCycle_ = 0;
+};
+
+} // namespace apir
+
+#endif // APIR_HW_ACCELERATOR_HH

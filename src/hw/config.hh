@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Parameters of the architectural templates (Section 5.2). The paper
+ * tunes these per application with a heuristic that fills the FPGA;
+ * here they are explicit knobs, swept by the ablation benches.
+ */
+
+#ifndef APIR_HW_CONFIG_HH
+#define APIR_HW_CONFIG_HH
+
+#include <cstdint>
+#include <iosfwd>
+
+#include "mem/memsys.hh"
+
+namespace apir {
+
+/** Accelerator-wide template parameters. */
+struct AccelConfig
+{
+    /** Pipeline replicas instantiated per task set. */
+    uint32_t pipelinesPerSet = 2;
+    /** Lanes per rule engine (concurrent rules under inspection). */
+    uint32_t ruleLanes = 32;
+    /** Banks per multi-bank task queue. */
+    uint32_t queueBanks = 4;
+    /** Capacity of each bank, in tasks. */
+    uint32_t queueBankCapacity = 1u << 16;
+    /** Entries in each load/store unit (outstanding accesses). */
+    uint32_t lsuEntries = 8;
+    /** Ablation A: force in-order completion in the LSUs. */
+    bool lsuInOrder = false;
+    /** Depth of inter-stage FIFOs. */
+    uint32_t fifoDepth = 2;
+    /** Tokens buffered at each rendezvous awaiting verdicts. */
+    uint32_t rendezvousEntries = 32;
+    /**
+     * Cycles a rendezvous may sit with waiting tokens but no global
+     * progress before the liveness fallback fires the otherwise
+     * clause for its locally minimal waiter.
+     */
+    uint64_t otherwiseTimeout = 64;
+    /** Hard wall for simulation length; exceeded means a hang. */
+    uint64_t maxCycles = 1ull << 36;
+    /** FPGA clock, for converting cycles to seconds (200 MHz). */
+    double clockHz = 200e6;
+
+    /**
+     * Host feeding: if hostBatch > 0, initial tasks are injected in
+     * batches of hostBatch every hostInterval cycles (the SPEC-DMR /
+     * COOR-LU "tasks sent from host" mode); otherwise all initial
+     * tasks are present at cycle 0.
+     */
+    uint32_t hostBatch = 0;
+    uint64_t hostInterval = 256;
+
+    /**
+     * Cycle trace: when non-null, every stage firing in
+     * [traceFrom, traceTo) appends a "<cycle> <pipeline>/<stage>"
+     * line — a lightweight waveform for debugging schedules (the
+     * gem5 trace-based-debugging idiom). Not owned.
+     */
+    std::ostream *trace = nullptr;
+    uint64_t traceFrom = 0;
+    uint64_t traceTo = ~0ull;
+
+    MemConfig mem;
+};
+
+} // namespace apir
+
+#endif // APIR_HW_CONFIG_HH

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Registered bounded FIFO connecting pipeline stages. An item pushed
+ * at cycle N becomes visible at N+1 (or later, for multi-cycle
+ * producer latency), modeling the dual-port FIFO interfaces the
+ * paper's in-order templates use.
+ */
+
+#ifndef APIR_HW_FIFO_HH
+#define APIR_HW_FIFO_HH
+
+#include <cstdint>
+#include <deque>
+#include <utility>
+
+#include "support/logging.hh"
+
+namespace apir {
+
+/** A registered bounded FIFO. */
+template <typename T>
+class SimFifo
+{
+  public:
+    explicit SimFifo(uint32_t capacity = 2) : capacity_(capacity)
+    {
+        APIR_ASSERT(capacity >= 1, "FIFO capacity must be >= 1");
+    }
+
+    bool full() const { return items_.size() >= capacity_; }
+    bool empty() const { return items_.empty(); }
+    size_t size() const { return items_.size(); }
+    uint32_t capacity() const { return capacity_; }
+
+    /** True if the head item is visible at `cycle`. */
+    bool
+    canPop(uint64_t cycle) const
+    {
+        return !items_.empty() && items_.front().first <= cycle;
+    }
+
+    /**
+     * Push at `cycle` with the producer's pipeline latency; the item
+     * becomes poppable at cycle + latency (latency >= 1).
+     */
+    void
+    push(uint64_t cycle, T item, uint32_t latency = 1)
+    {
+        APIR_ASSERT(!full(), "push into a full FIFO");
+        APIR_ASSERT(latency >= 1, "zero-latency push");
+        items_.emplace_back(cycle + latency, std::move(item));
+        maxOccupancy_ = std::max<uint64_t>(maxOccupancy_, items_.size());
+    }
+
+    const T &
+    front() const
+    {
+        APIR_ASSERT(!items_.empty(), "front of empty FIFO");
+        return items_.front().second;
+    }
+
+    T
+    pop(uint64_t cycle)
+    {
+        APIR_ASSERT(canPop(cycle), "pop of unavailable item");
+        T item = std::move(items_.front().second);
+        items_.pop_front();
+        return item;
+    }
+
+    uint64_t maxOccupancy() const { return maxOccupancy_; }
+
+  private:
+    uint32_t capacity_;
+    std::deque<std::pair<uint64_t, T>> items_; //!< (visibleAt, item)
+    uint64_t maxOccupancy_ = 0;
+};
+
+} // namespace apir
+
+#endif // APIR_HW_FIFO_HH

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Tracker of the order keys of every live task in the accelerator
+ * (queued or in flight as a token). The rendezvous units query its
+ * minimum to drive the otherwise trigger; its emptiness is the
+ * accelerator's termination condition.
+ */
+
+#ifndef APIR_HW_LIVE_KEYS_HH
+#define APIR_HW_LIVE_KEYS_HH
+
+#include <cstdint>
+#include <functional>
+#include <set>
+#include <utility>
+
+#include "core/task.hh"
+#include "support/logging.hh"
+
+namespace apir {
+
+/**
+ * Comparable order key: (custom key, well-order index). Designs with
+ * a custom orderKey put it in .first and zero the index; designs
+ * without put 0 in .first, so lexicographic pair comparison realizes
+ * both orders.
+ */
+using HwOrderKey = std::pair<uint64_t, TaskIndex>;
+
+/** Multiset of the order keys of all live tasks. */
+class LiveKeyTracker
+{
+  public:
+    explicit LiveKeyTracker(
+        std::function<uint64_t(const SwTask &)> custom = nullptr)
+        : custom_(std::move(custom)) {}
+
+    /** Key of a task under the design's order. */
+    HwOrderKey
+    keyOf(const SwTask &t) const
+    {
+        if (custom_)
+            return {custom_(t), TaskIndex{}};
+        return {0, t.index};
+    }
+
+    void insert(const HwOrderKey &k) { keys_.insert(k); }
+
+    void
+    erase(const HwOrderKey &k)
+    {
+        auto it = keys_.find(k);
+        APIR_ASSERT(it != keys_.end(), "erase of untracked key");
+        keys_.erase(it);
+    }
+
+    bool empty() const { return keys_.empty(); }
+    size_t size() const { return keys_.size(); }
+
+    HwOrderKey
+    min() const
+    {
+        APIR_ASSERT(!keys_.empty(), "min of empty tracker");
+        return *keys_.begin();
+    }
+
+  private:
+    std::function<uint64_t(const SwTask &)> custom_;
+    std::multiset<HwOrderKey> keys_;
+};
+
+} // namespace apir
+
+#endif // APIR_HW_LIVE_KEYS_HH

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Coordination state shared by the replicas of one rendezvous actor
+ * (Figure 8 (4)): the minimum order key among all tokens waiting at
+ * this rendezvous across all pipelines is broadcast to the rule
+ * lanes to trigger the otherwise clause. Tokens not yet at the
+ * rendezvous (still in queues or load units) do not participate, so
+ * a straggling cache miss never blocks the machine — the liveness
+ * property Section 4.2.1 builds the whole rule design around.
+ */
+
+#ifndef APIR_HW_RENDEZVOUS_GROUP_HH
+#define APIR_HW_RENDEZVOUS_GROUP_HH
+
+#include <set>
+
+#include "hw/live_keys.hh"
+
+namespace apir {
+
+/** Waiting-token keys of one rendezvous actor, over all replicas. */
+class RendezvousGroup
+{
+  public:
+    void insert(const HwOrderKey &k) { waiting_.insert(k); }
+
+    void
+    erase(const HwOrderKey &k)
+    {
+        auto it = waiting_.find(k);
+        APIR_ASSERT(it != waiting_.end(),
+                    "rendezvous group lost a waiter");
+        waiting_.erase(it);
+    }
+
+    bool empty() const { return waiting_.empty(); }
+
+    /** True if k is (one of) the minimum waiting keys. */
+    bool
+    isMin(const HwOrderKey &k) const
+    {
+        return !waiting_.empty() && !(*waiting_.begin() < k);
+    }
+
+  private:
+    std::multiset<HwOrderKey> waiting_;
+};
+
+} // namespace apir
+
+#endif // APIR_HW_RENDEZVOUS_GROUP_HH

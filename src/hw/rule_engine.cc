@@ -1,0 +1,114 @@
+#include "hw/rule_engine.hh"
+
+#include <algorithm>
+
+#include "support/logging.hh"
+
+namespace apir {
+
+RuleEngine::RuleEngine(const RuleSpec &spec, uint32_t lanes)
+    : spec_(spec), lanes_(lanes)
+{
+    APIR_ASSERT(lanes >= 1, "rule engine needs at least one lane");
+}
+
+uint32_t
+RuleEngine::alloc(const RuleParams &params)
+{
+    // Rotating-priority allocator, like the queue's wavefront scheme.
+    for (uint32_t i = 0; i < lanes_.size(); ++i) {
+        uint32_t lane = (nextLane_ + i) % lanes_.size();
+        if (!lanes_[lane].valid) {
+            lanes_[lane].valid = true;
+            lanes_[lane].resolved = false;
+            lanes_[lane].verdict = false;
+            lanes_[lane].params = params;
+            nextLane_ = (lane + 1) % lanes_.size();
+            ++allocs_;
+            ++inUse_;
+            maxInUse_ = std::max(maxInUse_, inUse_);
+            return lane;
+        }
+    }
+    ++allocFails_;
+    return kNoLane;
+}
+
+void
+RuleEngine::broadcast(const EventData &ev, uint32_t exclude_lane)
+{
+    ++events_;
+    for (uint32_t lane = 0; lane < lanes_.size(); ++lane) {
+        if (lane == exclude_lane)
+            continue;
+        Lane &l = lanes_[lane];
+        if (!l.valid || l.resolved)
+            continue;
+        for (const EcaClause &clause : spec_.clauses) {
+            if (clause.eventOp != ev.op)
+                continue;
+            if (clause.condition && !clause.condition(l.params, ev))
+                continue;
+            l.resolved = true;
+            l.verdict = clause.action;
+            ++clauseFires_;
+            break;
+        }
+    }
+}
+
+bool
+RuleEngine::resolved(uint32_t lane) const
+{
+    APIR_ASSERT(lane < lanes_.size() && lanes_[lane].valid,
+                "query of invalid lane");
+    return lanes_[lane].resolved;
+}
+
+bool
+RuleEngine::verdict(uint32_t lane) const
+{
+    APIR_ASSERT(lane < lanes_.size() && lanes_[lane].resolved,
+                "verdict of unresolved lane");
+    return lanes_[lane].verdict;
+}
+
+void
+RuleEngine::fireOtherwise(uint32_t lane, bool fallback)
+{
+    APIR_ASSERT(lane < lanes_.size() && lanes_[lane].valid,
+                "otherwise on invalid lane");
+    Lane &l = lanes_[lane];
+    if (l.resolved)
+        return;
+    l.resolved = true;
+    l.verdict = spec_.otherwise;
+    ++otherwiseFires_;
+    if (fallback)
+        ++fallbackFires_;
+}
+
+void
+RuleEngine::release(uint32_t lane)
+{
+    APIR_ASSERT(lane < lanes_.size() && lanes_[lane].valid,
+                "release of invalid lane");
+    lanes_[lane].valid = false;
+    APIR_ASSERT(inUse_ > 0, "lane accounting underflow");
+    --inUse_;
+}
+
+void
+RuleEngine::report(StatGroup &g) const
+{
+    g.set("lanes", static_cast<double>(lanes_.size()));
+    g.set("allocs", static_cast<double>(allocs_));
+    g.set("alloc_fails", static_cast<double>(allocFails_));
+    g.set("events", static_cast<double>(events_));
+    g.set("clause_fires", static_cast<double>(clauseFires_));
+    g.set("otherwise_fires", static_cast<double>(otherwiseFires_));
+    g.set("fallback_fires", static_cast<double>(fallbackFires_));
+    g.set("max_lanes_in_use", static_cast<double>(maxInUse_));
+}
+
+} // namespace apir

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * The rule engine template (Section 5.2, Figure 8): a lane allocator,
+ * an event bus that broadcasts tasks reaching operations, per-lane
+ * ECA evaluation pipelines, and a return buffer the rendezvous reads
+ * verdicts from. One engine is instantiated per rule type and shared
+ * by all pipelines.
+ */
+
+#ifndef APIR_HW_RULE_ENGINE_HH
+#define APIR_HW_RULE_ENGINE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "bdfg/token.hh"
+#include "core/rule.hh"
+#include "support/stats.hh"
+
+namespace apir {
+
+/** Hardware model of one rule type's engine. */
+class RuleEngine
+{
+  public:
+    RuleEngine(const RuleSpec &spec, uint32_t lanes);
+
+    const RuleSpec &spec() const { return spec_; }
+    uint32_t numLanes() const { return static_cast<uint32_t>(lanes_.size()); }
+
+    /**
+     * Allocate a lane for a rule instance with the given constructor
+     * parameters. Returns the lane id, or kNoLane when the allocator
+     * has no free lane (the AllocRule stage stalls).
+     */
+    uint32_t alloc(const RuleParams &params);
+
+    /**
+     * Broadcast an event on the event bus. `exclude_lane` is the lane
+     * held by the signaling task itself (a rule never observes its
+     * parent's own events); pass kNoLane when the signaler holds no
+     * lane in this engine.
+     */
+    void broadcast(const EventData &ev, uint32_t exclude_lane);
+
+    /** Has the lane's rule placed a verdict in the return buffer? */
+    bool resolved(uint32_t lane) const;
+    /** The verdict (valid once resolved). */
+    bool verdict(uint32_t lane) const;
+
+    /** Fire the otherwise clause for a waiting lane. */
+    void fireOtherwise(uint32_t lane, bool fallback);
+
+    /** Release the lane after the rendezvous consumed the verdict. */
+    void release(uint32_t lane);
+
+    // Statistics.
+    uint64_t allocs() const { return allocs_; }
+    uint64_t allocFails() const { return allocFails_; }
+    uint64_t eventsSeen() const { return events_; }
+    uint64_t clauseFires() const { return clauseFires_; }
+    uint64_t otherwiseFires() const { return otherwiseFires_; }
+    uint64_t fallbackFires() const { return fallbackFires_; }
+    uint32_t lanesInUse() const { return inUse_; }
+    uint32_t maxLanesInUse() const { return maxInUse_; }
+
+    void report(StatGroup &g) const;
+
+  private:
+    struct Lane
+    {
+        bool valid = false;
+        bool resolved = false;
+        bool verdict = false;
+        RuleParams params;
+    };
+
+    RuleSpec spec_;
+    std::vector<Lane> lanes_;
+    uint32_t nextLane_ = 0; //!< rotating allocator pointer
+    uint32_t inUse_ = 0;
+    uint32_t maxInUse_ = 0;
+    uint64_t allocs_ = 0;
+    uint64_t allocFails_ = 0;
+    uint64_t events_ = 0;
+    uint64_t clauseFires_ = 0;
+    uint64_t otherwiseFires_ = 0;
+    uint64_t fallbackFires_ = 0;
+};
+
+} // namespace apir
+
+#endif // APIR_HW_RULE_ENGINE_HH

@@ -1,0 +1,396 @@
+#include "hw/stage.hh"
+
+#include <algorithm>
+
+#include "hw/rendezvous_group.hh"
+#include "support/logging.hh"
+
+namespace apir {
+
+Stage::Stage(const Actor &actor, HwContext &ctx) : actor_(actor), ctx_(ctx)
+{
+}
+
+void
+Stage::tick(uint64_t cycle)
+{
+    fired_ = false;
+    hasWork_ = false;
+    doTick(cycle);
+    if (fired_)
+        ++st_.busy;
+    else if (hasWork_ || (in_ && !in_->empty()))
+        ++st_.stall;
+    else
+        ++st_.idle;
+    lastBusy_ = fired_;
+
+    if (fired_ && ctx_.cfg->trace && cycle >= ctx_.cfg->traceFrom &&
+        cycle < ctx_.cfg->traceTo) {
+        *ctx_.cfg->trace << cycle << " "
+                         << (traceLabel_.empty() ? actor_.name
+                                                 : traceLabel_)
+                         << "\n";
+    }
+}
+
+// ---------------------------------------------------------------- Source
+
+SourceStage::SourceStage(const Actor &a, HwContext &ctx, TaskSetId set,
+                         uint32_t source_id,
+                         std::function<uint64_t(const SwTask &)> okey)
+    : Stage(a, ctx), set_(set), sourceId_(source_id),
+      okeyFn_(std::move(okey))
+{
+}
+
+void
+SourceStage::doTick(uint64_t cycle)
+{
+    if (out_[0]->full()) {
+        hasWork_ = queue(set_).occupancy() > 0;
+        return;
+    }
+    auto task = queue(set_).pop(cycle, sourceId_);
+    if (!task)
+        return; // idle: nothing granted this cycle
+    Token tok;
+    tok.words = task->data;
+    tok.index = task->index;
+    tok.okey = okeyFn_ ? okeyFn_(*task) : 0;
+    tok.serial = (*ctx_.serial)++;
+    out_[0]->push(cycle, tok, actor_.latency);
+    fired_ = true;
+    ++st_.tokens;
+}
+
+// ---------------------------------------------------------------- Simple
+
+void
+SimpleStage::doTick(uint64_t cycle)
+{
+    if (!in_->canPop(cycle))
+        return;
+    hasWork_ = true;
+
+    switch (actor_.kind) {
+      case ActorKind::Sink: {
+        Token tok = in_->pop(cycle);
+        if (tok.lane != kNoLane) {
+            // A squash path can reach a sink with the lane still
+            // held (the rendezvous was bypassed); release it.
+            RuleEngine &eng = engine(tok.laneRule);
+            if (!eng.resolved(tok.lane))
+                eng.fireOtherwise(tok.lane, false);
+            eng.release(tok.lane);
+        }
+        ctx_.tracker->erase(tokenKey(tok));
+        fired_ = true;
+        ++st_.tokens;
+        return;
+      }
+      case ActorKind::Switch: {
+        const Token &peek = in_->front();
+        bool p = actor_.pred ? actor_.pred(peek) : peek.pred;
+        SimFifo<Token> *dst = p ? out_[0] : out_[1];
+        if (dst->full())
+            return;
+        Token tok = in_->pop(cycle);
+        dst->push(cycle, tok, actor_.latency);
+        fired_ = true;
+        ++st_.tokens;
+        return;
+      }
+      case ActorKind::Enqueue: {
+        if (out_[0]->full() || !queue(actor_.enqueueSet).canPush())
+            return;
+        Token tok = in_->pop(cycle);
+        queue(actor_.enqueueSet)
+            .push(cycle, actor_.enqueueSet, actor_.payload(tok),
+                  tok.index);
+        out_[0]->push(cycle, tok, actor_.latency);
+        fired_ = true;
+        ++st_.tokens;
+        return;
+      }
+      case ActorKind::Event: {
+        if (out_[0]->full())
+            return;
+        Token tok = in_->pop(cycle);
+        EventData ev;
+        ev.op = actor_.eventOp;
+        ev.index = tok.index;
+        ev.words = actor_.payload(tok);
+        for (size_t e = 0; e < ctx_.engines->size(); ++e) {
+            uint32_t exclude =
+                (tok.lane != kNoLane && tok.laneRule == e) ? tok.lane
+                                                           : kNoLane;
+            (*ctx_.engines)[e]->broadcast(ev, exclude);
+        }
+        out_[0]->push(cycle, tok, actor_.latency);
+        fired_ = true;
+        ++st_.tokens;
+        return;
+      }
+      case ActorKind::Commit: {
+        if (out_[0]->full())
+            return;
+        Token tok = in_->pop(cycle);
+        actor_.sideEffect(tok);
+        out_[0]->push(cycle, tok, actor_.latency);
+        fired_ = true;
+        ++st_.tokens;
+        return;
+      }
+      case ActorKind::Const:
+      case ActorKind::Alu: {
+        if (out_[0]->full())
+            return;
+        Token tok = in_->pop(cycle);
+        actor_.compute(tok);
+        out_[0]->push(cycle, tok, actor_.latency);
+        fired_ = true;
+        ++st_.tokens;
+        return;
+      }
+      default:
+        panic("SimpleStage cannot model ", actorKindName(actor_.kind));
+    }
+}
+
+// ---------------------------------------------------------------- Expand
+
+void
+ExpandStage::doTick(uint64_t cycle)
+{
+    if (!active_ && in_->canPop(cycle)) {
+        Token tok = in_->pop(cycle);
+        auto [b, e] = actor_.range(tok);
+        if (b >= e) {
+            // Empty range: the task produces nothing and dies here.
+            ctx_.tracker->erase(tokenKey(tok));
+            fired_ = true;
+            ++st_.tokens;
+            return;
+        }
+        active_ = true;
+        current_ = tok;
+        pos_ = b;
+        end_ = e;
+    }
+    if (!active_)
+        return;
+    hasWork_ = true;
+    if (out_[0]->full())
+        return;
+
+    Token child = current_;
+    child.words[actor_.expandSlot] = pos_;
+    child.serial = (*ctx_.serial)++;
+    // The child is a new live token sharing the parent's order key.
+    ctx_.tracker->insert(tokenKey(child));
+    out_[0]->push(cycle, child, actor_.latency);
+    ++pos_;
+    fired_ = true;
+    ++st_.tokens;
+    if (pos_ >= end_) {
+        // Parent token is consumed once fully expanded.
+        ctx_.tracker->erase(tokenKey(current_));
+        active_ = false;
+    }
+}
+
+// ------------------------------------------------------------------- Mem
+
+MemStage::MemStage(const Actor &a, HwContext &ctx)
+    : Stage(a, ctx), maxEntries_(ctx.cfg->lsuEntries),
+      isStore_(a.kind == ActorKind::Store)
+{
+}
+
+void
+MemStage::doTick(uint64_t cycle)
+{
+    // Accept one new token.
+    if (in_->canPop(cycle) && entries_.size() < maxEntries_) {
+        Entry e;
+        e.tok = in_->pop(cycle);
+        e.addr = actor_.addr(e.tok);
+        entries_.push_back(std::move(e));
+    }
+
+    // Issue one request (oldest unissued first).
+    for (Entry &e : entries_) {
+        if (e.issued)
+            continue;
+        auto done = ctx_.mem->request(cycle, e.addr, isStore_);
+        if (done) {
+            e.issued = true;
+            e.done = *done;
+            fired_ = true;
+        }
+        break; // one issue port per cycle
+    }
+
+    // Complete and emit one token: the head when in-order, else the
+    // first finished entry (dynamic-dataflow bypassing of blocked
+    // tasks, Section 5.2).
+    if (!entries_.empty())
+        hasWork_ = true;
+    if (!out_[0]->full()) {
+        size_t limit = ctx_.cfg->lsuInOrder
+                           ? std::min<size_t>(1, entries_.size())
+                           : entries_.size();
+        for (size_t i = 0; i < limit; ++i) {
+            Entry &e = entries_[i];
+            if (!e.issued || e.done > cycle)
+                continue;
+            if (isStore_) {
+                if (!actor_.storeTimingOnly)
+                    ctx_.mem->writeWord(e.addr, actor_.storeValue(e.tok));
+            } else {
+                e.tok.words[actor_.loadDst] = ctx_.mem->readWord(e.addr);
+            }
+            out_[0]->push(cycle, e.tok, 1);
+            entries_.erase(entries_.begin() + static_cast<long>(i));
+            fired_ = true;
+            ++st_.tokens;
+            break;
+        }
+    }
+}
+
+// -------------------------------------------------------------- AllocRule
+
+void
+AllocRuleStage::doTick(uint64_t cycle)
+{
+    if (!in_->canPop(cycle))
+        return;
+    hasWork_ = true;
+    if (out_[0]->full())
+        return;
+    const Token &peek = in_->front();
+    RuleParams params;
+    params.index = peek.index;
+    params.words = actor_.payload(peek);
+    uint32_t lane = engine(actor_.rule).alloc(params);
+    if (lane == kNoLane)
+        return; // allocator stall: no free lane
+    Token tok = in_->pop(cycle);
+    tok.lane = lane;
+    tok.laneRule = actor_.rule;
+    out_[0]->push(cycle, tok, actor_.latency);
+    fired_ = true;
+    ++st_.tokens;
+}
+
+// ------------------------------------------------------------- Rendezvous
+
+RendezvousStage::RendezvousStage(const Actor &a, HwContext &ctx,
+                                 RendezvousGroup *group)
+    : Stage(a, ctx), maxEntries_(ctx.cfg->rendezvousEntries),
+      group_(group)
+{
+    APIR_ASSERT(group_ != nullptr, "rendezvous needs a group");
+}
+
+void
+RendezvousStage::doTick(uint64_t cycle)
+{
+    // Accept one waiting token.
+    if (in_->canPop(cycle) && entries_.size() < maxEntries_) {
+        Token t = in_->pop(cycle);
+        group_->insert(tokenKey(t));
+        entries_.push_back(std::move(t));
+    }
+
+    if (entries_.empty())
+        return;
+    hasWork_ = true;
+
+    // The otherwise trigger (Figure 8 (4)): the minimum task index at
+    // this rendezvous across all pipelines is broadcast to the rule
+    // lanes; matching waiters resolve with the rule's otherwise value.
+    for (Token &t : entries_) {
+        if (t.lane == kNoLane)
+            continue;
+        RuleEngine &eng = engine(t.laneRule);
+        if (!eng.resolved(t.lane) && group_->isMin(tokenKey(t)))
+            eng.fireOtherwise(t.lane, false);
+    }
+
+    // Safety net: if the whole accelerator has been wedged past
+    // otherwiseTimeout (which the group minimum should make
+    // impossible), force the locally minimal waiter through.
+    if (ctx_.lastGlobalProgress &&
+        cycle - *ctx_.lastGlobalProgress > ctx_.cfg->otherwiseTimeout) {
+        Token *best = nullptr;
+        for (Token &t : entries_) {
+            if (t.lane == kNoLane || engine(t.laneRule).resolved(t.lane))
+                continue;
+            if (!best || tokenKey(t) < tokenKey(*best))
+                best = &t;
+        }
+        if (best) {
+            engine(best->laneRule).fireOtherwise(best->lane, true);
+            ++fallbacks_;
+        }
+    }
+
+    // Emit one resolved token, out of order.
+    if (out_[0]->full())
+        return;
+    for (size_t i = 0; i < entries_.size(); ++i) {
+        Token &t = entries_[i];
+        bool ready;
+        bool verdict = true;
+        if (t.lane == kNoLane) {
+            ready = true; // no rule: pass through affirmatively
+        } else {
+            RuleEngine &eng = engine(t.laneRule);
+            ready = eng.resolved(t.lane);
+            if (ready) {
+                verdict = eng.verdict(t.lane);
+                eng.release(t.lane);
+            }
+        }
+        if (!ready)
+            continue;
+        Token tok = t;
+        tok.pred = verdict;
+        tok.lane = kNoLane;
+        group_->erase(tokenKey(t));
+        entries_.erase(entries_.begin() + static_cast<long>(i));
+        out_[0]->push(cycle, tok, 1);
+        fired_ = true;
+        ++st_.tokens;
+        break;
+    }
+}
+
+// ---------------------------------------------------------------- factory
+
+std::unique_ptr<Stage>
+makeStage(const Actor &a, HwContext &ctx, TaskSetId set, uint32_t source_id,
+          const std::function<uint64_t(const SwTask &)> &okey,
+          RendezvousGroup *group)
+{
+    switch (a.kind) {
+      case ActorKind::Source:
+        return std::make_unique<SourceStage>(a, ctx, set, source_id, okey);
+      case ActorKind::Expand:
+        return std::make_unique<ExpandStage>(a, ctx);
+      case ActorKind::Load:
+      case ActorKind::Store:
+        return std::make_unique<MemStage>(a, ctx);
+      case ActorKind::AllocRule:
+        return std::make_unique<AllocRuleStage>(a, ctx);
+      case ActorKind::Rendezvous:
+        return std::make_unique<RendezvousStage>(a, ctx, group);
+      default:
+        return std::make_unique<SimpleStage>(a, ctx);
+    }
+}
+
+} // namespace apir

@@ -1,0 +1,222 @@
+/**
+ * @file
+ * Cycle-level models of the primitive-operation templates
+ * (Section 5.2). Each BDFG actor is instantiated as one Stage per
+ * pipeline replica. In-order operations expose dual-port FIFO
+ * interfaces; load/store units and rendezvous complete out of order
+ * (the paper's dynamic-dataflow reordering), bounded by their entry
+ * counts.
+ */
+
+#ifndef APIR_HW_STAGE_HH
+#define APIR_HW_STAGE_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "bdfg/actor.hh"
+#include "hw/config.hh"
+#include "hw/fifo.hh"
+#include "hw/live_keys.hh"
+#include "hw/rule_engine.hh"
+#include "hw/task_queue.hh"
+#include "mem/memsys.hh"
+
+namespace apir {
+
+/** Shared services a stage reaches through its accelerator. */
+struct HwContext
+{
+    const AccelConfig *cfg = nullptr;
+    MemorySystem *mem = nullptr;
+    LiveKeyTracker *tracker = nullptr;
+    std::vector<std::unique_ptr<RuleEngine>> *engines = nullptr;
+    std::vector<std::unique_ptr<TaskQueueUnit>> *queues = nullptr;
+    uint64_t *serial = nullptr;
+    bool customKey = false;
+    /**
+     * Cycle of the last accelerator-wide progress (any stage busy).
+     * The rendezvous liveness fallback only fires when the whole
+     * machine has been wedged past cfg->otherwiseTimeout — while any
+     * other stage still moves, the minimum task is presumed to be on
+     * its way.
+     */
+    const uint64_t *lastGlobalProgress = nullptr;
+};
+
+/** Busy / stalled / idle cycle counts of one stage. */
+struct StageStats
+{
+    uint64_t busy = 0;
+    uint64_t stall = 0;
+    uint64_t idle = 0;
+    uint64_t tokens = 0; //!< tokens this stage produced or consumed
+};
+
+/** Base class of all primitive-operation stages. */
+class Stage
+{
+  public:
+    Stage(const Actor &actor, HwContext &ctx);
+    virtual ~Stage() = default;
+
+    void bindInput(SimFifo<Token> *f) { in_ = f; }
+    void bindOutput(uint16_t port, SimFifo<Token> *f) { out_[port] = f; }
+
+    /** Advance one cycle; updates busy/stall/idle accounting. */
+    void tick(uint64_t cycle);
+
+    const Actor &actor() const { return actor_; }
+    const StageStats &stats() const { return st_; }
+    bool wasBusy() const { return lastBusy_; }
+
+    /** Label used in cycle traces, e.g. "update/2/ld_level". */
+    void setTraceLabel(std::string label) { traceLabel_ = std::move(label); }
+    const std::string &traceLabel() const { return traceLabel_; }
+
+  protected:
+    /** Kind-specific behaviour; sets fired_/hasWork_. */
+    virtual void doTick(uint64_t cycle) = 0;
+
+    /** Order key of a token under the design's comparator. */
+    HwOrderKey
+    tokenKey(const Token &t) const
+    {
+        if (ctx_.customKey)
+            return {t.okey, TaskIndex{}};
+        return {0, t.index};
+    }
+
+    RuleEngine &engine(RuleId id) { return *(*ctx_.engines)[id]; }
+    TaskQueueUnit &queue(TaskSetId id) { return *(*ctx_.queues)[id]; }
+
+    const Actor actor_;
+    HwContext &ctx_;
+    SimFifo<Token> *in_ = nullptr;
+    SimFifo<Token> *out_[2] = {nullptr, nullptr};
+    StageStats st_;
+    bool fired_ = false;   //!< did useful work this cycle
+    bool hasWork_ = false; //!< had work but could not complete it
+    bool lastBusy_ = false;
+    std::string traceLabel_;
+};
+
+/** Pops tasks from the task queue into the pipeline. */
+class SourceStage : public Stage
+{
+  public:
+    SourceStage(const Actor &a, HwContext &ctx, TaskSetId set,
+                uint32_t source_id,
+                std::function<uint64_t(const SwTask &)> okey);
+
+  protected:
+    void doTick(uint64_t cycle) override;
+
+  private:
+    TaskSetId set_;
+    uint32_t sourceId_;
+    std::function<uint64_t(const SwTask &)> okeyFn_;
+};
+
+/**
+ * Unit-firing in-order stages: Const, Alu, Event, Commit, Switch,
+ * Enqueue, Sink. One token in, (up to) one token out per cycle.
+ */
+class SimpleStage : public Stage
+{
+  public:
+    using Stage::Stage;
+
+  protected:
+    void doTick(uint64_t cycle) override;
+};
+
+/** Range expansion: one input token fans out to many. */
+class ExpandStage : public Stage
+{
+  public:
+    using Stage::Stage;
+
+  protected:
+    void doTick(uint64_t cycle) override;
+
+  private:
+    bool active_ = false;
+    Token current_;
+    uint64_t pos_ = 0;
+    uint64_t end_ = 0;
+};
+
+/**
+ * Load/store unit: bounded outstanding entries against the memory
+ * system; completes out of order unless cfg.lsuInOrder (Ablation A).
+ */
+class MemStage : public Stage
+{
+  public:
+    MemStage(const Actor &a, HwContext &ctx);
+
+  protected:
+    void doTick(uint64_t cycle) override;
+
+  private:
+    struct Entry
+    {
+        Token tok;
+        uint64_t addr = 0;
+        bool issued = false;
+        uint64_t done = 0;
+    };
+
+    std::vector<Entry> entries_;
+    uint32_t maxEntries_;
+    bool isStore_;
+};
+
+/** Constructs the task's rule in a rule-engine lane. */
+class AllocRuleStage : public Stage
+{
+  public:
+    using Stage::Stage;
+
+  protected:
+    void doTick(uint64_t cycle) override;
+};
+
+class RendezvousGroup;
+
+/**
+ * Rendezvous: buffers tokens until their rule verdict is available
+ * (resolved by an ECA clause, or by the otherwise trigger when the
+ * token is the minimum waiter at this rendezvous across all pipeline
+ * replicas — the shared RendezvousGroup); emits out of order, like
+ * the paper's switch actor with return-value reordering.
+ */
+class RendezvousStage : public Stage
+{
+  public:
+    RendezvousStage(const Actor &a, HwContext &ctx,
+                    RendezvousGroup *group);
+
+    uint64_t fallbackFires() const { return fallbacks_; }
+
+  protected:
+    void doTick(uint64_t cycle) override;
+
+  private:
+    std::vector<Token> entries_;
+    uint32_t maxEntries_;
+    RendezvousGroup *group_;
+    uint64_t fallbacks_ = 0;
+};
+
+/** Factory: build the right Stage subclass for an actor. */
+std::unique_ptr<Stage> makeStage(
+    const Actor &a, HwContext &ctx, TaskSetId set, uint32_t source_id,
+    const std::function<uint64_t(const SwTask &)> &okey,
+    RendezvousGroup *group);
+
+} // namespace apir
+
+#endif // APIR_HW_STAGE_HH

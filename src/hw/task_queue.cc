@@ -1,0 +1,124 @@
+#include "hw/task_queue.hh"
+
+#include <algorithm>
+
+#include "support/logging.hh"
+
+namespace apir {
+
+TaskQueueUnit::TaskQueueUnit(const TaskSetDecl &decl, TaskSetId id,
+                             uint32_t banks, uint32_t bank_capacity,
+                             LiveKeyTracker &tracker)
+    : decl_(decl), id_(id), tracker_(tracker)
+{
+    APIR_ASSERT(banks >= 1, "task queue needs at least one bank");
+    banks_.reserve(banks);
+    for (uint32_t b = 0; b < banks; ++b)
+        banks_.emplace_back(bank_capacity);
+    bankLastPop_.assign(banks, ~0ull);
+    heapCapacity_ = static_cast<uint64_t>(banks) * bank_capacity;
+}
+
+bool
+TaskQueueUnit::canPush() const
+{
+    if (decl_.priority)
+        return heap_.size() < heapCapacity_;
+    for (const auto &b : banks_)
+        if (!b.full())
+            return true;
+    return false;
+}
+
+void
+TaskQueueUnit::push(uint64_t cycle, TaskSetId set_check,
+                    const std::array<Word, kMaxPayloadWords> &data,
+                    const TaskIndex &parent)
+{
+    APIR_ASSERT(set_check == id_, "push routed to the wrong queue");
+    SwTask t;
+    t.set = id_;
+    t.data = data;
+    t.index = childIndex(decl_, parent, counter_);
+
+    tracker_.insert(tracker_.keyOf(t));
+    if (decl_.priority) {
+        APIR_ASSERT(heap_.size() < heapCapacity_,
+                    "push into a full priority queue");
+        heap_.emplace(tracker_.keyOf(t), std::make_pair(cycle + 1, t));
+    } else {
+        // Least-occupied bank, ties to the lowest id (the input-side
+        // wavefront allocator's effect).
+        size_t best = 0;
+        for (size_t b = 1; b < banks_.size(); ++b)
+            if (banks_[b].size() < banks_[best].size())
+                best = b;
+        APIR_ASSERT(!banks_[best].full(), "push into a full task queue");
+        banks_[best].push(cycle, t);
+    }
+    ++pushes_;
+    maxOccupancy_ = std::max<uint64_t>(maxOccupancy_, occupancy());
+}
+
+std::optional<SwTask>
+TaskQueueUnit::pop(uint64_t cycle, uint32_t source_id)
+{
+    if (decl_.priority) {
+        // Heap mode: deliver the minimum-key visible task, at most
+        // one grant per bank port per cycle.
+        if (heapPopCycle_ != cycle) {
+            heapPopCycle_ = cycle;
+            heapPopsThisCycle_ = 0;
+        }
+        if (heapPopsThisCycle_ >= banks_.size())
+            return std::nullopt;
+        for (auto it = heap_.begin(); it != heap_.end(); ++it) {
+            if (it->second.first > cycle)
+                continue; // pushed this cycle; visible next
+            SwTask t = it->second.second;
+            heap_.erase(it);
+            ++heapPopsThisCycle_;
+            ++pops_;
+            return t;
+        }
+        return std::nullopt;
+    }
+
+    // Rotating priority: which bank this source looks at first
+    // depends on the cycle, spreading sources across banks.
+    uint32_t nbanks = static_cast<uint32_t>(banks_.size());
+    uint32_t start = (source_id + static_cast<uint32_t>(cycle)) % nbanks;
+    for (uint32_t i = 0; i < nbanks; ++i) {
+        uint32_t b = (start + i) % nbanks;
+        if (bankLastPop_[b] == cycle)
+            continue; // one grant per bank per cycle
+        if (!banks_[b].canPop(cycle))
+            continue;
+        bankLastPop_[b] = cycle;
+        ++pops_;
+        return banks_[b].pop(cycle);
+    }
+    return std::nullopt;
+}
+
+size_t
+TaskQueueUnit::occupancy() const
+{
+    if (decl_.priority)
+        return heap_.size();
+    size_t n = 0;
+    for (const auto &b : banks_)
+        n += b.size();
+    return n;
+}
+
+void
+TaskQueueUnit::report(StatGroup &g) const
+{
+    g.set("banks", static_cast<double>(banks_.size()));
+    g.set("pushes", static_cast<double>(pushes_));
+    g.set("pops", static_cast<double>(pops_));
+    g.set("max_occupancy", static_cast<double>(maxOccupancy_));
+}
+
+} // namespace apir

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * The multi-bank task queue template (Section 5.2): one queue per
+ * active task set, with banked FIFO storage, a wavefront-style
+ * rotating allocator between banks and pipeline sources, and index
+ * assignment on push (Figure 5's well-order scheme). Equivalent to a
+ * software thread pool, realized frugally in hardware.
+ */
+
+#ifndef APIR_HW_TASK_QUEUE_HH
+#define APIR_HW_TASK_QUEUE_HH
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "core/task.hh"
+#include "hw/fifo.hh"
+#include "hw/live_keys.hh"
+#include "support/stats.hh"
+
+namespace apir {
+
+/** Banked hardware task queue for one task set. */
+class TaskQueueUnit
+{
+  public:
+    TaskQueueUnit(const TaskSetDecl &decl, TaskSetId id, uint32_t banks,
+                  uint32_t bank_capacity, LiveKeyTracker &tracker);
+
+    const TaskSetDecl &decl() const { return decl_; }
+    TaskSetId id() const { return id_; }
+
+    /** True if some bank can accept a push this cycle. */
+    bool canPush() const;
+
+    /**
+     * Activate a task: assign its index from the parent's (Figure 5),
+     * register its order key as live, and store it in the
+     * least-occupied bank. Caller must have checked canPush().
+     */
+    void push(uint64_t cycle, TaskSetId set_check,
+              const std::array<Word, kMaxPayloadWords> &data,
+              const TaskIndex &parent);
+
+    /**
+     * Pop request from pipeline source `source_id`. The wavefront
+     * allocator grants at most one pop per bank per cycle, rotating
+     * priority with the cycle count for load balance.
+     */
+    std::optional<SwTask> pop(uint64_t cycle, uint32_t source_id);
+
+    uint64_t pushes() const { return pushes_; }
+    uint64_t pops() const { return pops_; }
+    size_t occupancy() const;
+    uint64_t maxOccupancy() const { return maxOccupancy_; }
+
+    void report(StatGroup &g) const;
+
+  private:
+    TaskSetDecl decl_;
+    TaskSetId id_;
+    std::vector<SimFifo<SwTask>> banks_;
+    /** Priority-mode storage: key -> (visible-at cycle, task). */
+    std::multimap<HwOrderKey, std::pair<uint64_t, SwTask>> heap_;
+    uint64_t heapCapacity_ = 0;
+    uint32_t heapPopsThisCycle_ = 0;
+    uint64_t heapPopCycle_ = ~0ull;
+    LiveKeyTracker &tracker_;
+    uint32_t counter_ = 0; //!< for-each activation counter
+    std::vector<uint64_t> bankLastPop_;
+    uint64_t pushes_ = 0;
+    uint64_t pops_ = 0;
+    uint64_t maxOccupancy_ = 0;
+};
+
+} // namespace apir
+
+#endif // APIR_HW_TASK_QUEUE_HH

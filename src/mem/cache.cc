@@ -1,0 +1,81 @@
+#include "mem/cache.hh"
+
+#include <algorithm>
+
+#include "support/logging.hh"
+
+namespace apir {
+
+Cache::Cache(CacheConfig cfg, QpiChannel &qpi) : cfg_(cfg), qpi_(qpi)
+{
+    APIR_ASSERT(cfg.sizeBytes % cfg.lineBytes == 0, "bad cache geometry");
+    numLines_ = cfg.sizeBytes / cfg.lineBytes;
+    lines_.resize(numLines_);
+}
+
+void
+Cache::reclaimMshrs(uint64_t cycle)
+{
+    std::erase_if(mshrDone_, [cycle](uint64_t done) {
+        return done <= cycle;
+    });
+}
+
+std::optional<uint64_t>
+Cache::access(uint64_t cycle, uint64_t addr, bool is_write)
+{
+    uint64_t line_addr = addr / cfg_.lineBytes;
+    uint64_t set = line_addr % numLines_;
+    uint64_t tag = line_addr / numLines_;
+    Line &line = lines_[set];
+
+    if (line.valid && line.tag == tag) {
+        ++hits_;
+        if (is_write)
+            line.dirty = true;
+        return cycle + cfg_.hitLatency;
+    }
+
+    reclaimMshrs(cycle);
+    if (mshrDone_.size() >= cfg_.mshrs) {
+        ++mshrRejects_;
+        return std::nullopt;
+    }
+
+    ++misses_;
+    uint64_t issue = cycle;
+    if (line.valid && line.dirty) {
+        // Write the victim back over QPI before the fill.
+        ++writebacks_;
+        issue = qpi_.transfer(cycle, cfg_.lineBytes) - qpi_.config().latency;
+    }
+    uint64_t done = qpi_.transfer(issue, cfg_.lineBytes);
+    line.valid = true;
+    line.tag = tag;
+    line.dirty = is_write;
+    mshrDone_.push_back(done);
+
+    if (cfg_.prefetchNextLine) {
+        // Next-line prefetch: fill line N+1 unless it is already
+        // resident. Consumes link bandwidth but no MSHR (its fill is
+        // not awaited by anyone).
+        uint64_t pf_line = line_addr + 1;
+        uint64_t pf_set = pf_line % numLines_;
+        uint64_t pf_tag = pf_line / numLines_;
+        Line &pf = lines_[pf_set];
+        if (!pf.valid || pf.tag != pf_tag) {
+            if (pf.valid && pf.dirty) {
+                ++writebacks_;
+                qpi_.transfer(issue, cfg_.lineBytes);
+            }
+            qpi_.transfer(issue, cfg_.lineBytes);
+            pf.valid = true;
+            pf.tag = pf_tag;
+            pf.dirty = false;
+            ++prefetches_;
+        }
+    }
+    return done;
+}
+
+} // namespace apir

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * The generic on-FPGA cache HARP provides (Section 5.2 / [14]):
+ * 64 KB direct-mapped, 64-byte lines, 14-cycle hit latency, misses
+ * served over QPI. Write-back, write-allocate, with a bounded number
+ * of outstanding misses (MSHRs); a full MSHR file back-pressures the
+ * load/store unit.
+ *
+ * Timing-only: data values live in MemoryImage. Tags are updated at
+ * issue time, which is the standard approximation for a
+ * single-requestor cache model.
+ */
+
+#ifndef APIR_MEM_CACHE_HH
+#define APIR_MEM_CACHE_HH
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "mem/qpi.hh"
+
+namespace apir {
+
+/** Cache configuration; defaults model the HARP FPGA cache. */
+struct CacheConfig
+{
+    uint64_t sizeBytes = 64 * 1024;
+    uint64_t lineBytes = 64;
+    uint64_t hitLatency = 14; //!< 70 ns at 200 MHz
+    uint32_t mshrs = 32;      //!< max outstanding misses
+    /**
+     * Fetch line N+1 alongside a demand miss of line N. A
+     * problem-independent stand-in for the aggressive data movement
+     * handcrafted accelerators use (paper Section 8 future work);
+     * swept by ablation_prefetch.
+     */
+    bool prefetchNextLine = false;
+};
+
+/** Direct-mapped write-back cache in front of a QpiChannel. */
+class Cache
+{
+  public:
+    Cache(CacheConfig cfg, QpiChannel &qpi);
+
+    /**
+     * Access `addr` at `cycle`. Returns the completion cycle, or
+     * nullopt when no MSHR is free (caller must retry later).
+     */
+    std::optional<uint64_t> access(uint64_t cycle, uint64_t addr,
+                                   bool is_write);
+
+    uint64_t hits() const { return hits_; }
+    uint64_t misses() const { return misses_; }
+    uint64_t writebacks() const { return writebacks_; }
+    uint64_t mshrRejects() const { return mshrRejects_; }
+    uint64_t prefetches() const { return prefetches_; }
+
+    const CacheConfig &config() const { return cfg_; }
+
+  private:
+    struct Line
+    {
+        bool valid = false;
+        bool dirty = false;
+        uint64_t tag = 0;
+    };
+
+    void reclaimMshrs(uint64_t cycle);
+
+    CacheConfig cfg_;
+    QpiChannel &qpi_;
+    uint64_t numLines_;
+    std::vector<Line> lines_;
+    std::vector<uint64_t> mshrDone_; //!< completion cycles of misses
+    uint64_t hits_ = 0;
+    uint64_t misses_ = 0;
+    uint64_t writebacks_ = 0;
+    uint64_t mshrRejects_ = 0;
+    uint64_t prefetches_ = 0;
+};
+
+} // namespace apir
+
+#endif // APIR_MEM_CACHE_HH

@@ -1,0 +1,34 @@
+#include "mem/memsys.hh"
+
+namespace apir {
+
+MemorySystem::MemorySystem(MemConfig cfg) : cfg_(cfg)
+{
+    QpiConfig q = cfg.qpi;
+    q.bytesPerCycle *= cfg.bandwidthScale;
+    qpi_ = std::make_unique<QpiChannel>(q);
+    cache_ = std::make_unique<Cache>(cfg.cache, *qpi_);
+}
+
+double
+MemorySystem::effectiveBandwidthGBs() const
+{
+    // bytes/cycle * 200e6 cycles/s.
+    return qpi_->config().bytesPerCycle * 200e6 / 1e9;
+}
+
+void
+MemorySystem::report(StatGroup &g) const
+{
+    g.set("reads", static_cast<double>(reads_));
+    g.set("writes", static_cast<double>(writes_));
+    g.set("cache_hits", static_cast<double>(cache_->hits()));
+    g.set("cache_misses", static_cast<double>(cache_->misses()));
+    g.set("writebacks", static_cast<double>(cache_->writebacks()));
+    g.set("mshr_rejects", static_cast<double>(cache_->mshrRejects()));
+    g.set("prefetches", static_cast<double>(cache_->prefetches()));
+    g.set("qpi_bytes", static_cast<double>(qpi_->bytesMoved()));
+    g.set("qpi_busy_cycles", qpi_->busyCycles());
+}
+
+} // namespace apir

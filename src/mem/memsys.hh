@@ -1,0 +1,83 @@
+/**
+ * @file
+ * The problem-independent memory subsystem of Section 5.2: functional
+ * image + HARP-like cache + QPI link, bundled behind the interface the
+ * simulated load/store units use.
+ */
+
+#ifndef APIR_MEM_MEMSYS_HH
+#define APIR_MEM_MEMSYS_HH
+
+#include <memory>
+#include <optional>
+
+#include "mem/cache.hh"
+#include "mem/image.hh"
+#include "mem/qpi.hh"
+#include "support/stats.hh"
+
+namespace apir {
+
+/** Full memory-system configuration. */
+struct MemConfig
+{
+    CacheConfig cache;
+    QpiConfig qpi;
+    /** Figure 10 knob: scales QPI bandwidth (1.0 = stock HARP). */
+    double bandwidthScale = 1.0;
+};
+
+/** Cache + QPI + functional image. */
+class MemorySystem
+{
+  public:
+    explicit MemorySystem(MemConfig cfg = MemConfig{});
+
+    MemoryImage &image() { return image_; }
+    const MemoryImage &image() const { return image_; }
+
+    /**
+     * Timing request: access `addr` (word granularity) at `cycle`.
+     * Returns completion cycle, or nullopt on MSHR back-pressure.
+     */
+    std::optional<uint64_t>
+    request(uint64_t cycle, uint64_t addr, bool is_write)
+    {
+        auto done = cache_->access(cycle, addr, is_write);
+        if (done) {
+            if (is_write)
+                ++writes_;
+            else
+                ++reads_;
+        }
+        return done;
+    }
+
+    /** Functional access helpers. */
+    Word readWord(uint64_t addr) const { return image_.readWord(addr); }
+    void writeWord(uint64_t addr, Word v) { image_.writeWord(addr, v); }
+
+    const Cache &cache() const { return *cache_; }
+    const QpiChannel &qpi() const { return *qpi_; }
+
+    uint64_t reads() const { return reads_; }
+    uint64_t writes() const { return writes_; }
+
+    /** Effective QPI bandwidth in GB/s at 200 MHz. */
+    double effectiveBandwidthGBs() const;
+
+    /** Dump counters into a StatGroup. */
+    void report(StatGroup &g) const;
+
+  private:
+    MemConfig cfg_;
+    MemoryImage image_;
+    std::unique_ptr<QpiChannel> qpi_;
+    std::unique_ptr<Cache> cache_;
+    uint64_t reads_ = 0;
+    uint64_t writes_ = 0;
+};
+
+} // namespace apir
+
+#endif // APIR_MEM_MEMSYS_HH

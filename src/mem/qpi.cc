@@ -1,0 +1,22 @@
+#include "mem/qpi.hh"
+
+#include <algorithm>
+
+#include "support/logging.hh"
+
+namespace apir {
+
+uint64_t
+QpiChannel::transfer(uint64_t cycle, uint64_t bytes)
+{
+    APIR_ASSERT(cfg_.bytesPerCycle > 0.0, "zero QPI bandwidth");
+    double start = std::max(static_cast<double>(cycle), nextFree_);
+    double service = static_cast<double>(bytes) / cfg_.bytesPerCycle;
+    nextFree_ = start + service;
+    busyCycles_ += service;
+    bytesMoved_ += bytes;
+    double done = start + service + static_cast<double>(cfg_.latency);
+    return static_cast<uint64_t>(done) + 1;
+}
+
+} // namespace apir

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * The QPI link between the FPGA and host DRAM on HARP, modeled as a
+ * fixed-latency channel with finite bandwidth: ~7.0 GB/s and ~200 ns
+ * miss latency at the paper's parameters ([14]). Bandwidth is the
+ * Figure 10 knob: the bench scales it x1..x8 (and beyond).
+ *
+ * Service model: each 64-byte line transfer occupies the link for
+ * lineBytes / bytesPerCycle cycles; a transfer completes `latency`
+ * cycles after its service slot starts. This is a deterministic
+ * single-server queue.
+ */
+
+#ifndef APIR_MEM_QPI_HH
+#define APIR_MEM_QPI_HH
+
+#include <cstdint>
+
+#include "support/stats.hh"
+
+namespace apir {
+
+/** QPI configuration; defaults model HARP at 200 MHz. */
+struct QpiConfig
+{
+    /**
+     * Link bandwidth in bytes per FPGA cycle. 7.0 GB/s at 200 MHz
+     * is 35 bytes/cycle.
+     */
+    double bytesPerCycle = 35.0;
+    /** One-way transfer latency in cycles (~200 ns). */
+    uint64_t latency = 40;
+};
+
+/** Deterministic bandwidth-limited channel. */
+class QpiChannel
+{
+  public:
+    explicit QpiChannel(QpiConfig cfg) : cfg_(cfg) {}
+
+    /**
+     * Schedule one cache-line transfer issued at `cycle`; returns its
+     * completion cycle.
+     */
+    uint64_t transfer(uint64_t cycle, uint64_t bytes);
+
+    /** Total bytes moved. */
+    uint64_t bytesMoved() const { return bytesMoved_; }
+    /** Cycles during which the link was busy. */
+    double busyCycles() const { return busyCycles_; }
+
+    const QpiConfig &config() const { return cfg_; }
+
+  private:
+    QpiConfig cfg_;
+    double nextFree_ = 0.0;
+    uint64_t bytesMoved_ = 0;
+    double busyCycles_ = 0.0;
+};
+
+} // namespace apir
+
+#endif // APIR_MEM_QPI_HH

@@ -1,0 +1,180 @@
+#include "resource/resource.hh"
+
+#include "support/logging.hh"
+
+namespace apir {
+
+namespace {
+
+/** Bits of one task token: payload + index + control. */
+constexpr uint64_t kTokenBits =
+    kMaxPayloadWords * 64 + kMaxIndexDepth * 32 + 16;
+
+/** Bits of rule constructor parameters. */
+constexpr uint64_t kParamBits = kMaxPayloadWords * 64 + kMaxIndexDepth * 32;
+
+/** Per-stage register/ALM cost of one primitive-op template. */
+Resources
+stageCost(const Actor &a, const AccelConfig &cfg)
+{
+    Resources r;
+    switch (a.kind) {
+      case ActorKind::Source:
+        r.registers = kTokenBits;
+        r.alms = 60;
+        break;
+      case ActorKind::Const:
+      case ActorKind::Alu:
+        // One pipeline register per latency stage plus an ALU.
+        r.registers = kTokenBits * a.latency;
+        r.alms = 140;
+        break;
+      case ActorKind::Expand:
+        r.registers = kTokenBits + 2 * 64;
+        r.alms = 120;
+        break;
+      case ActorKind::Load:
+      case ActorKind::Store:
+        // Out-of-order entries need token storage plus an address
+        // CAM for the matching logic the paper calls out as the
+        // cost of dynamic dataflow.
+        r.registers = cfg.lsuEntries * (kTokenBits + 64) + 128;
+        r.alms = 90 * cfg.lsuEntries + 150;
+        break;
+      case ActorKind::AllocRule:
+        r.registers = kTokenBits + kParamBits;
+        r.alms = 110;
+        break;
+      case ActorKind::Event:
+        r.registers = kTokenBits;
+        r.alms = 70;
+        break;
+      case ActorKind::Rendezvous:
+        r.registers = cfg.rendezvousEntries * kTokenBits + 96;
+        r.alms = 70 * cfg.rendezvousEntries + 120;
+        break;
+      case ActorKind::Switch:
+        r.registers = kTokenBits;
+        r.alms = 50;
+        break;
+      case ActorKind::Enqueue:
+        r.registers = kTokenBits;
+        r.alms = 90;
+        break;
+      case ActorKind::Commit:
+        r.registers = kTokenBits * a.latency;
+        r.alms = 160;
+        break;
+      case ActorKind::Sink:
+        r.registers = 32;
+        r.alms = 10;
+        break;
+    }
+    return r;
+}
+
+/** Physical depth of a task-queue bank (BRAM-backed, spills to DRAM). */
+constexpr uint64_t kPhysicalBankDepth = 512;
+
+} // namespace
+
+double
+ResourceReport::ruleEngineRegisterShare() const
+{
+    uint64_t t = total().registers;
+    if (t == 0)
+        return 0.0;
+    return static_cast<double>(ruleEngines.registers) /
+           static_cast<double>(t);
+}
+
+double
+ResourceReport::deviceRegisterFill(const DeviceLimits &dev) const
+{
+    return static_cast<double>(total().registers) /
+           static_cast<double>(dev.registers);
+}
+
+ResourceReport
+estimateResources(const AcceleratorSpec &spec, const AccelConfig &cfg)
+{
+    ResourceReport rep;
+
+    // Pipelines: each actor template replicated per pipeline.
+    for (const BdfgGraph &g : spec.pipelines) {
+        for (const Actor &a : g.actors()) {
+            Resources c = stageCost(a, cfg);
+            for (uint32_t p = 0; p < cfg.pipelinesPerSet; ++p)
+                rep.pipelines += c;
+        }
+        // Inter-stage FIFOs (registers).
+        Resources fifo;
+        fifo.registers = cfg.fifoDepth * kTokenBits;
+        fifo.alms = 25;
+        for (uint32_t p = 0; p < cfg.pipelinesPerSet; ++p)
+            for (size_t e = 0; e < g.edges().size(); ++e)
+                rep.pipelines += fifo;
+    }
+
+    // Task queues: BRAM-backed banks plus the wavefront allocator.
+    for (size_t s = 0; s < spec.sets.size(); ++s) {
+        Resources q;
+        q.bramBits = cfg.queueBanks * kPhysicalBankDepth * kTokenBits;
+        q.registers = cfg.queueBanks * 2 * kTokenBits // head/tail bufs
+                      + cfg.queueBanks * 64;          // pointers
+        // Wavefront allocator: one grant row per (bank, port) pair.
+        q.alms = 40 * cfg.queueBanks * cfg.pipelinesPerSet + 80;
+        q.registers += 16ull * cfg.queueBanks * cfg.pipelinesPerSet;
+        rep.taskQueues += q;
+    }
+
+    // Rule engines: lanes hold parameters and comparison pipelines;
+    // the allocator and event bus dominate (Section 6.2).
+    uint32_t total_pipes =
+        cfg.pipelinesPerSet * static_cast<uint32_t>(spec.sets.size());
+    for (const RuleSpec &r : spec.rules) {
+        Resources e;
+        // Per lane: parameter storage, per-clause comparators, and
+        // the event-receive latch feeding them.
+        uint64_t clause_cost = 96 * (r.clauses.size() + 1);
+        uint64_t lane_cost = kParamBits + clause_cost + 192;
+        e.registers = cfg.ruleLanes * lane_cost
+                      // allocator grant matrix (lanes x request ports)
+                      + 8ull * cfg.ruleLanes * total_pipes
+                      // event bus: pipelined broadcast to/from every
+                      // pipeline (the cost Section 6.2 highlights)
+                      + 2ull * kTokenBits * total_pipes
+                      // return buffer
+                      + 2ull * cfg.ruleLanes;
+        e.alms = 30 * cfg.ruleLanes + 60 * total_pipes;
+        rep.ruleEngines += e;
+    }
+
+    // Memory system: cache controller, MSHRs, QPI interface.
+    rep.memSystem.registers =
+        cfg.mem.cache.mshrs * 96 + 4096; // MSHR file + control
+    rep.memSystem.alms = 3000;
+    rep.memSystem.bramBits = cfg.mem.cache.sizeBytes * 8 // data array
+                             + (cfg.mem.cache.sizeBytes /
+                                cfg.mem.cache.lineBytes) * 32; // tags
+    return rep;
+}
+
+uint32_t
+fitPipelinesToDevice(const AcceleratorSpec &spec, AccelConfig cfg,
+                     const DeviceLimits &dev)
+{
+    uint32_t best = 1;
+    for (uint32_t p = 1; p <= 64; ++p) {
+        cfg.pipelinesPerSet = p;
+        ResourceReport rep = estimateResources(spec, cfg);
+        Resources t = rep.total();
+        if (t.registers > dev.registers || t.alms > dev.alms ||
+            t.bramBits > dev.bramBits)
+            break;
+        best = p;
+    }
+    return best;
+}
+
+} // namespace apir

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * FPGA resource model for generated designs. Prices each template
+ * instance (primitive-op stages, LSU entries, task-queue banks, rule
+ * engine lanes/allocator/event bus) in Stratix V-style registers,
+ * ALMs, and BRAM bits, and reports the rule engine's share — the
+ * Section 6.2 structural claim (4.8–10 % of registers, negligible
+ * BRAM/logic).
+ */
+
+#ifndef APIR_RESOURCE_RESOURCE_HH
+#define APIR_RESOURCE_RESOURCE_HH
+
+#include <cstdint>
+#include <string>
+
+#include "compile/accel_spec.hh"
+#include "hw/config.hh"
+
+namespace apir {
+
+/** A resource bundle. */
+struct Resources
+{
+    uint64_t registers = 0;
+    uint64_t alms = 0;
+    uint64_t bramBits = 0;
+
+    Resources &
+    operator+=(const Resources &o)
+    {
+        registers += o.registers;
+        alms += o.alms;
+        bramBits += o.bramBits;
+        return *this;
+    }
+};
+
+/** Stratix V 5SGXEA7-class device limits. */
+struct DeviceLimits
+{
+    uint64_t registers = 938'880; //!< 234,720 ALMs x 4 registers
+    uint64_t alms = 234'720;
+    uint64_t bramBits = 52'428'800; //!< 2560 M20K blocks
+};
+
+/** Breakdown of one design's estimated resources. */
+struct ResourceReport
+{
+    Resources pipelines;  //!< primitive-op stages incl. LSUs
+    Resources taskQueues;
+    Resources ruleEngines;
+    Resources memSystem;  //!< cache controller + interfaces
+
+    Resources
+    total() const
+    {
+        Resources t;
+        t += pipelines;
+        t += taskQueues;
+        t += ruleEngines;
+        t += memSystem;
+        return t;
+    }
+
+    /** Rule engine registers / total registers. */
+    double ruleEngineRegisterShare() const;
+    /** Total registers / device registers. */
+    double deviceRegisterFill(const DeviceLimits &dev = {}) const;
+};
+
+/** Price a design under the given template parameters. */
+ResourceReport estimateResources(const AcceleratorSpec &spec,
+                                 const AccelConfig &cfg);
+
+/**
+ * The paper's heuristic: grow pipelinesPerSet until the design no
+ * longer fits the device; returns the chosen replica count.
+ */
+uint32_t fitPipelinesToDevice(const AcceleratorSpec &spec, AccelConfig cfg,
+                              const DeviceLimits &dev = {});
+
+} // namespace apir
+
+#endif // APIR_RESOURCE_RESOURCE_HH

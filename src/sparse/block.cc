@@ -1,0 +1,108 @@
+#include "sparse/block.hh"
+
+#include <cmath>
+
+#include "support/logging.hh"
+
+namespace apir {
+
+double
+DenseBlock::norm() const
+{
+    double s = 0.0;
+    for (double v : data_)
+        s += v * v;
+    return std::sqrt(s);
+}
+
+double
+DenseBlock::maxDiff(const DenseBlock &other) const
+{
+    APIR_ASSERT(bsize_ == other.bsize_, "block size mismatch");
+    double best = 0.0;
+    for (size_t i = 0; i < data_.size(); ++i)
+        best = std::max(best, std::fabs(data_[i] - other.data_[i]));
+    return best;
+}
+
+void
+luFactor(DenseBlock &diag)
+{
+    const uint32_t n = diag.size();
+    for (uint32_t k = 0; k < n; ++k) {
+        double pivot = diag.at(k, k);
+        APIR_ASSERT(std::fabs(pivot) > 1e-12, "zero pivot in luFactor");
+        for (uint32_t i = k + 1; i < n; ++i) {
+            diag.at(i, k) /= pivot;
+            double lik = diag.at(i, k);
+            for (uint32_t j = k + 1; j < n; ++j)
+                diag.at(i, j) -= lik * diag.at(k, j);
+        }
+    }
+}
+
+void
+trsmLowerLeft(const DenseBlock &factored_diag, DenseBlock &b)
+{
+    const uint32_t n = b.size();
+    APIR_ASSERT(factored_diag.size() == n, "block size mismatch");
+    // Forward substitution with unit lower L, one column of B at a time.
+    for (uint32_t col = 0; col < n; ++col) {
+        for (uint32_t i = 0; i < n; ++i) {
+            double s = b.at(i, col);
+            for (uint32_t k = 0; k < i; ++k)
+                s -= factored_diag.at(i, k) * b.at(k, col);
+            b.at(i, col) = s; // L has unit diagonal
+        }
+    }
+}
+
+void
+trsmUpperRight(const DenseBlock &factored_diag, DenseBlock &b)
+{
+    const uint32_t n = b.size();
+    APIR_ASSERT(factored_diag.size() == n, "block size mismatch");
+    // Solve X * U = B row by row: back substitution over columns.
+    for (uint32_t row = 0; row < n; ++row) {
+        for (uint32_t j = 0; j < n; ++j) {
+            double s = b.at(row, j);
+            for (uint32_t k = 0; k < j; ++k)
+                s -= b.at(row, k) * factored_diag.at(k, j);
+            b.at(row, j) = s / factored_diag.at(j, j);
+        }
+    }
+}
+
+void
+gemmMinus(const DenseBlock &a, const DenseBlock &b, DenseBlock &c)
+{
+    const uint32_t n = c.size();
+    APIR_ASSERT(a.size() == n && b.size() == n, "block size mismatch");
+    for (uint32_t i = 0; i < n; ++i) {
+        for (uint32_t k = 0; k < n; ++k) {
+            double aik = a.at(i, k);
+            if (aik == 0.0)
+                continue;
+            for (uint32_t j = 0; j < n; ++j)
+                c.at(i, j) -= aik * b.at(k, j);
+        }
+    }
+}
+
+void
+gemmPlus(const DenseBlock &a, const DenseBlock &b, DenseBlock &c)
+{
+    const uint32_t n = c.size();
+    APIR_ASSERT(a.size() == n && b.size() == n, "block size mismatch");
+    for (uint32_t i = 0; i < n; ++i) {
+        for (uint32_t k = 0; k < n; ++k) {
+            double aik = a.at(i, k);
+            if (aik == 0.0)
+                continue;
+            for (uint32_t j = 0; j < n; ++j)
+                c.at(i, j) += aik * b.at(k, j);
+        }
+    }
+}
+
+} // namespace apir

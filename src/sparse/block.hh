@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Dense square blocks and the three kernels blocked LU factorization
+ * is made of: in-place LU of a diagonal block, triangular solves
+ * against a factored diagonal block, and the Schur-complement update
+ * C -= A * B.
+ *
+ * No pivoting: apir's generators produce block-diagonally-dominant
+ * matrices for which unpivoted LU is stable, matching the BOTS
+ * sparselu kernel the paper's COOR-LU derives from.
+ */
+
+#ifndef APIR_SPARSE_BLOCK_HH
+#define APIR_SPARSE_BLOCK_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace apir {
+
+/** A dense bsize x bsize block, row-major. */
+class DenseBlock
+{
+  public:
+    DenseBlock() = default;
+    explicit DenseBlock(uint32_t bsize)
+        : bsize_(bsize), data_(static_cast<size_t>(bsize) * bsize, 0.0) {}
+
+    uint32_t size() const { return bsize_; }
+    double &at(uint32_t r, uint32_t c) { return data_[r * bsize_ + c]; }
+    double at(uint32_t r, uint32_t c) const { return data_[r * bsize_ + c]; }
+    const std::vector<double> &data() const { return data_; }
+    std::vector<double> &data() { return data_; }
+
+    /** Frobenius norm. */
+    double norm() const;
+
+    /** Max absolute elementwise difference to another block. */
+    double maxDiff(const DenseBlock &other) const;
+
+  private:
+    uint32_t bsize_ = 0;
+    std::vector<double> data_;
+};
+
+/**
+ * Factor diag in place into L\U (unit lower L below the diagonal, U on
+ * and above). Panics on a (near-)zero pivot, which the generators
+ * preclude.
+ */
+void luFactor(DenseBlock &diag);
+
+/**
+ * Solve L * X = B for X where L is the unit-lower part of a factored
+ * diagonal block; B is overwritten with X. Used on blocks to the
+ * right of the diagonal ("fwd" in BOTS).
+ */
+void trsmLowerLeft(const DenseBlock &factored_diag, DenseBlock &b);
+
+/**
+ * Solve X * U = B for X where U is the upper part of a factored
+ * diagonal block; B is overwritten with X. Used on blocks below the
+ * diagonal ("bdiv" in BOTS).
+ */
+void trsmUpperRight(const DenseBlock &factored_diag, DenseBlock &b);
+
+/** Schur update: c -= a * b ("bmod" in BOTS). */
+void gemmMinus(const DenseBlock &a, const DenseBlock &b, DenseBlock &c);
+
+/** c += a * b (used to reconstruct A = L*U in the checkers). */
+void gemmPlus(const DenseBlock &a, const DenseBlock &b, DenseBlock &c);
+
+} // namespace apir
+
+#endif // APIR_SPARSE_BLOCK_HH

@@ -1,0 +1,181 @@
+#include "sparse/block_sparse.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/logging.hh"
+#include "support/random.hh"
+
+namespace apir {
+
+DenseBlock &
+BlockSparseMatrix::block(uint32_t i, uint32_t j)
+{
+    APIR_ASSERT(i < n_ && j < n_, "block index out of range");
+    auto [it, inserted] = blocks_.try_emplace({i, j}, bsize_);
+    return it->second;
+}
+
+const DenseBlock &
+BlockSparseMatrix::block(uint32_t i, uint32_t j) const
+{
+    auto it = blocks_.find({i, j});
+    APIR_ASSERT(it != blocks_.end(), "block (", i, ",", j, ") absent");
+    return it->second;
+}
+
+std::vector<std::pair<uint32_t, uint32_t>>
+BlockSparseMatrix::structure() const
+{
+    std::vector<std::pair<uint32_t, uint32_t>> out;
+    out.reserve(blocks_.size());
+    for (const auto &[key, blk] : blocks_)
+        out.push_back(key);
+    return out;
+}
+
+double
+BlockSparseMatrix::maxDiff(const BlockSparseMatrix &other) const
+{
+    APIR_ASSERT(n_ == other.n_ && bsize_ == other.bsize_,
+                "matrix shape mismatch");
+    double best = 0.0;
+    DenseBlock zero(bsize_);
+    auto side = [&](const BlockSparseMatrix &x, const BlockSparseMatrix &y) {
+        for (const auto &[key, blk] : x.blocks_) {
+            const DenseBlock &o =
+                y.present(key.first, key.second)
+                    ? y.block(key.first, key.second) : zero;
+            best = std::max(best, blk.maxDiff(o));
+        }
+    };
+    side(*this, other);
+    side(other, *this);
+    return best;
+}
+
+BlockSparseMatrix
+randomBlockSparse(uint32_t num_block_rows, uint32_t bsize, double density,
+                  uint64_t seed)
+{
+    Rng rng(seed);
+    BlockSparseMatrix a(num_block_rows, bsize);
+    for (uint32_t i = 0; i < num_block_rows; ++i) {
+        for (uint32_t j = 0; j < num_block_rows; ++j) {
+            bool keep = (i == j) || rng.chance(density);
+            if (!keep)
+                continue;
+            DenseBlock &blk = a.block(i, j);
+            for (uint32_t r = 0; r < bsize; ++r)
+                for (uint32_t c = 0; c < bsize; ++c)
+                    blk.at(r, c) = rng.real() - 0.5;
+        }
+    }
+    // Make diagonal blocks strongly dominant so unpivoted LU is stable
+    // regardless of fill-in.
+    double boost = 4.0 * bsize * num_block_rows;
+    for (uint32_t i = 0; i < num_block_rows; ++i) {
+        DenseBlock &d = a.block(i, i);
+        for (uint32_t r = 0; r < bsize; ++r)
+            d.at(r, r) += boost;
+    }
+    return a;
+}
+
+LuOpCounts
+sparseLuSequential(BlockSparseMatrix &a)
+{
+    LuOpCounts ops;
+    const uint32_t n = a.numBlockRows();
+    for (uint32_t k = 0; k < n; ++k) {
+        luFactor(a.block(k, k));
+        ++ops.factor;
+        // Row panel: blocks right of the diagonal.
+        for (uint32_t j = k + 1; j < n; ++j) {
+            if (a.present(k, j)) {
+                trsmLowerLeft(a.block(k, k), a.block(k, j));
+                ++ops.trsm;
+            }
+        }
+        // Column panel: blocks below the diagonal.
+        for (uint32_t i = k + 1; i < n; ++i) {
+            if (a.present(i, k)) {
+                trsmUpperRight(a.block(k, k), a.block(i, k));
+                ++ops.trsm;
+            }
+        }
+        // Trailing update; creates fill-in.
+        for (uint32_t i = k + 1; i < n; ++i) {
+            if (!a.present(i, k))
+                continue;
+            for (uint32_t j = k + 1; j < n; ++j) {
+                if (!a.present(k, j))
+                    continue;
+                gemmMinus(a.block(i, k), a.block(k, j), a.block(i, j));
+                ++ops.gemm;
+            }
+        }
+    }
+    return ops;
+}
+
+BlockSparseMatrix
+reconstructFromLu(const BlockSparseMatrix &lu)
+{
+    const uint32_t n = lu.numBlockRows();
+    const uint32_t bs = lu.blockSize();
+    BlockSparseMatrix out(n, bs);
+
+    // Extract L (block row i, block cols <= i; unit diagonal inside
+    // the diagonal block) and U (block row i, cols >= i).
+    auto lblock = [&](uint32_t i, uint32_t k) {
+        DenseBlock b(bs);
+        if (!lu.present(i, k))
+            return b;
+        const DenseBlock &src = lu.block(i, k);
+        if (i == k) {
+            for (uint32_t r = 0; r < bs; ++r) {
+                b.at(r, r) = 1.0;
+                for (uint32_t c = 0; c < r; ++c)
+                    b.at(r, c) = src.at(r, c);
+            }
+        } else if (i > k) {
+            b = src;
+        }
+        return b;
+    };
+    auto ublock = [&](uint32_t k, uint32_t j) {
+        DenseBlock b(bs);
+        if (!lu.present(k, j))
+            return b;
+        const DenseBlock &src = lu.block(k, j);
+        if (k == j) {
+            for (uint32_t r = 0; r < bs; ++r)
+                for (uint32_t c = r; c < bs; ++c)
+                    b.at(r, c) = src.at(r, c);
+        } else if (k < j) {
+            b = src;
+        }
+        return b;
+    };
+
+    for (uint32_t i = 0; i < n; ++i) {
+        for (uint32_t j = 0; j < n; ++j) {
+            DenseBlock acc(bs);
+            bool any = false;
+            for (uint32_t k = 0; k <= std::min(i, j); ++k) {
+                if (!lu.present(i, k) && i != k)
+                    continue;
+                DenseBlock l = lblock(i, k);
+                DenseBlock u = ublock(k, j);
+                gemmPlus(l, u, acc);
+                any = true;
+            }
+            if (any && acc.norm() > 1e-14)
+                out.block(i, j) = acc;
+        }
+    }
+    return out;
+}
+
+} // namespace apir

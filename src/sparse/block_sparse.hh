@@ -1,0 +1,94 @@
+/**
+ * @file
+ * A block-sparse square matrix (N x N blocks of bsize x bsize doubles)
+ * with dynamic fill-in, plus sequential blocked right-looking LU — the
+ * substrate and reference algorithm for the paper's COOR-LU benchmark
+ * (derived from BOTS sparselu).
+ */
+
+#ifndef APIR_SPARSE_BLOCK_SPARSE_HH
+#define APIR_SPARSE_BLOCK_SPARSE_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "sparse/block.hh"
+
+namespace apir {
+
+/**
+ * Block-sparse matrix. Blocks are created lazily (fill-in during
+ * factorization); absent blocks are implicitly zero.
+ */
+class BlockSparseMatrix
+{
+  public:
+    BlockSparseMatrix(uint32_t num_block_rows, uint32_t bsize)
+        : n_(num_block_rows), bsize_(bsize) {}
+
+    uint32_t numBlockRows() const { return n_; }
+    uint32_t blockSize() const { return bsize_; }
+
+    bool
+    present(uint32_t i, uint32_t j) const
+    {
+        return blocks_.count({i, j}) > 0;
+    }
+
+    /** Block (i, j); creates a zero block if absent. */
+    DenseBlock &block(uint32_t i, uint32_t j);
+
+    /** Block (i, j); must be present. */
+    const DenseBlock &block(uint32_t i, uint32_t j) const;
+
+    /** Number of stored blocks. */
+    size_t numBlocks() const { return blocks_.size(); }
+
+    /** Coordinates of all stored blocks, row-major order. */
+    std::vector<std::pair<uint32_t, uint32_t>> structure() const;
+
+    /** Max |difference| over the union of both structures. */
+    double maxDiff(const BlockSparseMatrix &other) const;
+
+  private:
+    uint32_t n_;
+    uint32_t bsize_;
+    std::map<std::pair<uint32_t, uint32_t>, DenseBlock> blocks_;
+};
+
+/**
+ * Generate a block-sparse matrix: diagonal blocks always present and
+ * made dominant; each off-diagonal block present with probability
+ * density.
+ */
+BlockSparseMatrix randomBlockSparse(uint32_t num_block_rows, uint32_t bsize,
+                                    double density, uint64_t seed = 1);
+
+/**
+ * Sequential blocked right-looking LU, factoring a in place into L\U.
+ * Returns the number of block operations {factor, trsm, gemm} applied,
+ * which the parallel implementations are checked against.
+ */
+struct LuOpCounts
+{
+    uint64_t factor = 0;
+    uint64_t trsm = 0;
+    uint64_t gemm = 0;
+
+    uint64_t total() const { return factor + trsm + gemm; }
+};
+
+LuOpCounts sparseLuSequential(BlockSparseMatrix &a);
+
+/**
+ * Reconstruct L * U from an in-place factored matrix, for checking
+ * against the original. Only sensible at small sizes.
+ */
+BlockSparseMatrix reconstructFromLu(const BlockSparseMatrix &lu);
+
+} // namespace apir
+
+#endif // APIR_SPARSE_BLOCK_SPARSE_HH

@@ -1,0 +1,59 @@
+#include "support/logging.hh"
+
+#include <cstdio>
+
+namespace apir {
+
+namespace {
+
+bool quiet = false;
+
+const char *
+levelName(LogLevel level)
+{
+    switch (level) {
+      case LogLevel::Inform: return "info";
+      case LogLevel::Warn:   return "warn";
+      case LogLevel::Fatal:  return "fatal";
+      case LogLevel::Panic:  return "panic";
+    }
+    return "?";
+}
+
+} // namespace
+
+void
+setQuietLogging(bool q)
+{
+    quiet = q;
+}
+
+bool
+quietLogging()
+{
+    return quiet;
+}
+
+namespace detail {
+
+void
+logMessage(LogLevel level, const std::string &msg)
+{
+    if (quiet && (level == LogLevel::Inform || level == LogLevel::Warn))
+        return;
+    std::fprintf(stderr, "%s: %s\n", levelName(level), msg.c_str());
+}
+
+void
+logAndDie(LogLevel level, const std::string &where, const std::string &msg)
+{
+    std::fprintf(stderr, "%s: %s%s\n", levelName(level), where.c_str(),
+                 msg.c_str());
+    if (level == LogLevel::Panic)
+        std::abort();
+    std::exit(1);
+}
+
+} // namespace detail
+
+} // namespace apir

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * Every stochastic component in apir (workload generators, allocator
+ * tie-breaking, synthetic inputs) draws from an explicitly seeded
+ * Rng so that simulations and tests are reproducible bit-for-bit.
+ */
+
+#ifndef APIR_SUPPORT_RANDOM_HH
+#define APIR_SUPPORT_RANDOM_HH
+
+#include <cstdint>
+
+namespace apir {
+
+/**
+ * A small, fast, deterministic generator (xoshiro256**). Not suitable
+ * for cryptography; entirely suitable for workload synthesis.
+ */
+class Rng
+{
+  public:
+    explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL) { reseed(seed); }
+
+    /** Re-initialize the state from a single 64-bit seed. */
+    void
+    reseed(uint64_t seed)
+    {
+        // SplitMix64 expansion of the seed into four state words.
+        uint64_t x = seed;
+        for (auto &word : state) {
+            x += 0x9e3779b97f4a7c15ULL;
+            uint64_t z = x;
+            z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+            z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+            word = z ^ (z >> 31);
+        }
+    }
+
+    /** Next raw 64-bit value. */
+    uint64_t
+    next()
+    {
+        const uint64_t result = rotl(state[1] * 5, 7) * 9;
+        const uint64_t t = state[1] << 17;
+        state[2] ^= state[0];
+        state[3] ^= state[1];
+        state[1] ^= state[2];
+        state[0] ^= state[3];
+        state[2] ^= t;
+        state[3] = rotl(state[3], 45);
+        return result;
+    }
+
+    /** Uniform integer in [0, bound). bound must be nonzero. */
+    uint64_t
+    below(uint64_t bound)
+    {
+        // Rejection sampling to avoid modulo bias.
+        const uint64_t threshold = -bound % bound;
+        for (;;) {
+            uint64_t r = next();
+            if (r >= threshold)
+                return r % bound;
+        }
+    }
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    int64_t
+    range(int64_t lo, int64_t hi)
+    {
+        return lo + static_cast<int64_t>(below(
+            static_cast<uint64_t>(hi - lo + 1)));
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    real()
+    {
+        return (next() >> 11) * (1.0 / 9007199254740992.0);
+    }
+
+    /** Bernoulli draw with probability p of returning true. */
+    bool chance(double p) { return real() < p; }
+
+  private:
+    static uint64_t
+    rotl(uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    uint64_t state[4];
+};
+
+} // namespace apir
+
+#endif // APIR_SUPPORT_RANDOM_HH

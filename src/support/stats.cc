@@ -1,0 +1,16 @@
+#include "support/stats.hh"
+
+#include <iomanip>
+
+namespace apir {
+
+void
+StatGroup::dump(std::ostream &os) const
+{
+    for (const auto &[key, value] : values_) {
+        os << std::left << std::setw(40) << (name_ + "." + key) << " "
+           << value << "\n";
+    }
+}
+
+} // namespace apir

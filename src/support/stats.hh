@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Lightweight statistics containers used by the simulator and the
+ * benchmark harnesses: named scalar counters, running averages, and
+ * simple histograms, grouped per component.
+ */
+
+#ifndef APIR_SUPPORT_STATS_HH
+#define APIR_SUPPORT_STATS_HH
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace apir {
+
+/** A monotonically growing event counter. */
+class Counter
+{
+  public:
+    void operator+=(uint64_t n) { value_ += n; }
+    void operator++() { ++value_; }
+    void operator++(int) { ++value_; }
+    uint64_t value() const { return value_; }
+    void reset() { value_ = 0; }
+
+  private:
+    uint64_t value_ = 0;
+};
+
+/** Running mean/min/max of a sampled quantity. */
+class Average
+{
+  public:
+    void
+    sample(double v)
+    {
+        sum_ += v;
+        count_ += 1;
+        if (count_ == 1 || v < min_) min_ = v;
+        if (count_ == 1 || v > max_) max_ = v;
+    }
+
+    double mean() const { return count_ ? sum_ / count_ : 0.0; }
+    double min() const { return count_ ? min_ : 0.0; }
+    double max() const { return count_ ? max_ : 0.0; }
+    uint64_t count() const { return count_; }
+
+    void
+    reset()
+    {
+        sum_ = 0.0;
+        min_ = max_ = 0.0;
+        count_ = 0;
+    }
+
+  private:
+    double sum_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+    uint64_t count_ = 0;
+};
+
+/** Fixed-width-bucket histogram over [0, buckets*width). */
+class Histogram
+{
+  public:
+    Histogram(size_t buckets, double width)
+        : width_(width), counts_(buckets, 0) {}
+
+    void
+    sample(double v)
+    {
+        size_t b = v < 0 ? 0 : static_cast<size_t>(v / width_);
+        if (b >= counts_.size())
+            b = counts_.size() - 1;
+        ++counts_[b];
+        ++total_;
+    }
+
+    uint64_t bucket(size_t i) const { return counts_.at(i); }
+    size_t buckets() const { return counts_.size(); }
+    double bucketWidth() const { return width_; }
+    uint64_t total() const { return total_; }
+
+  private:
+    double width_;
+    std::vector<uint64_t> counts_;
+    uint64_t total_ = 0;
+};
+
+/**
+ * A named group of scalar statistics that components register into and
+ * harnesses dump. Values are stored as doubles for uniform reporting.
+ */
+class StatGroup
+{
+  public:
+    explicit StatGroup(std::string name) : name_(std::move(name)) {}
+
+    void set(const std::string &key, double v) { values_[key] = v; }
+    void add(const std::string &key, double v) { values_[key] += v; }
+
+    double
+    get(const std::string &key) const
+    {
+        auto it = values_.find(key);
+        return it == values_.end() ? 0.0 : it->second;
+    }
+
+    bool has(const std::string &key) const { return values_.count(key) > 0; }
+    const std::string &name() const { return name_; }
+    const std::map<std::string, double> &values() const { return values_; }
+
+    /** Print "group.key value" lines, gem5 stats-file style. */
+    void dump(std::ostream &os) const;
+
+  private:
+    std::string name_;
+    std::map<std::string, double> values_;
+};
+
+} // namespace apir
+
+#endif // APIR_SUPPORT_STATS_HH

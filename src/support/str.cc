@@ -1,0 +1,122 @@
+#include "support/str.hh"
+
+#include <cstdarg>
+#include <cstdio>
+#include <sstream>
+
+#include "support/logging.hh"
+
+namespace apir {
+
+std::string
+strprintf(const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    va_list args2;
+    va_copy(args2, args);
+    int n = std::vsnprintf(nullptr, 0, fmt, args);
+    va_end(args);
+    APIR_ASSERT(n >= 0, "vsnprintf failed");
+    std::string out(static_cast<size_t>(n), '\0');
+    std::vsnprintf(out.data(), out.size() + 1, fmt, args2);
+    va_end(args2);
+    return out;
+}
+
+std::string
+humanRate(double bytes_per_sec)
+{
+    const char *units[] = {"B/s", "KB/s", "MB/s", "GB/s", "TB/s"};
+    int u = 0;
+    while (bytes_per_sec >= 1000.0 && u < 4) {
+        bytes_per_sec /= 1000.0;
+        ++u;
+    }
+    return strprintf("%.2f %s", bytes_per_sec, units[u]);
+}
+
+std::string
+humanCount(double n)
+{
+    const char *units[] = {"", "K", "M", "G", "T"};
+    int u = 0;
+    while (n >= 1000.0 && u < 4) {
+        n /= 1000.0;
+        ++u;
+    }
+    return u == 0 ? strprintf("%.0f", n) : strprintf("%.2f %s", n, units[u]);
+}
+
+std::string
+join(const std::vector<std::string> &parts, const std::string &sep)
+{
+    std::string out;
+    for (size_t i = 0; i < parts.size(); ++i) {
+        if (i)
+            out += sep;
+        out += parts[i];
+    }
+    return out;
+}
+
+std::vector<std::string>
+split(const std::string &s, char delim)
+{
+    std::vector<std::string> out;
+    std::string cur;
+    for (char c : s) {
+        if (c == delim) {
+            out.push_back(cur);
+            cur.clear();
+        } else {
+            cur += c;
+        }
+    }
+    out.push_back(cur);
+    return out;
+}
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+}
+
+void
+TextTable::addRow(std::vector<std::string> cells)
+{
+    APIR_ASSERT(cells.size() == headers_.size(),
+                "row width ", cells.size(), " != header width ",
+                headers_.size());
+    rows_.push_back(std::move(cells));
+}
+
+std::string
+TextTable::render() const
+{
+    std::vector<size_t> widths(headers_.size());
+    for (size_t c = 0; c < headers_.size(); ++c)
+        widths[c] = headers_[c].size();
+    for (const auto &row : rows_)
+        for (size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+
+    std::ostringstream os;
+    auto emit = [&](const std::vector<std::string> &cells) {
+        for (size_t c = 0; c < cells.size(); ++c) {
+            os << cells[c]
+               << std::string(widths[c] - cells[c].size() + 2, ' ');
+        }
+        os << "\n";
+    };
+    emit(headers_);
+    size_t total = 0;
+    for (size_t w : widths)
+        total += w + 2;
+    os << std::string(total, '-') << "\n";
+    for (const auto &row : rows_)
+        emit(row);
+    return os.str();
+}
+
+} // namespace apir

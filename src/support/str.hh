@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Small string and table-formatting helpers shared by the benchmark
+ * harnesses (fixed-width paper-style tables and CSV rows).
+ */
+
+#ifndef APIR_SUPPORT_STR_HH
+#define APIR_SUPPORT_STR_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace apir {
+
+/** printf-style formatting into a std::string. */
+std::string strprintf(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** "1.50 GB/s"-style human formatting of a byte rate. */
+std::string humanRate(double bytes_per_sec);
+
+/** "12.3 K" / "4.5 M"-style human formatting of a count. */
+std::string humanCount(double n);
+
+/** Join parts with a separator. */
+std::string join(const std::vector<std::string> &parts,
+                 const std::string &sep);
+
+/** Split on a single-character delimiter; keeps empty fields. */
+std::vector<std::string> split(const std::string &s, char delim);
+
+/**
+ * Fixed-width text table, used by benches to print rows that mirror
+ * the paper's tables and figure series.
+ */
+class TextTable
+{
+  public:
+    explicit TextTable(std::vector<std::string> headers);
+
+    void addRow(std::vector<std::string> cells);
+    std::string render() const;
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace apir
+
+#endif // APIR_SUPPORT_STR_HH

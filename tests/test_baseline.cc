@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Tests of the AOCL-style synthesized-BFS model: functional
+ * correctness, iteration counts (one host round per BFS level), and
+ * cost-model monotonicity.
+ */
+
+#include <gtest/gtest.h>
+
+#include "apps/bfs.hh"
+#include "baseline/aocl_bfs.hh"
+#include "graph/generators.hh"
+
+namespace apir {
+namespace {
+
+TEST(AoclBfs, LevelsMatchReference)
+{
+    CsrGraph g = roadNetwork(10, 15, 0.08, 0.05, 50, 3);
+    auto ref = bfsSequential(g, 0);
+    AoclResult res = aoclBfs(g, 0);
+    EXPECT_EQ(res.levels, ref);
+}
+
+TEST(AoclBfs, OneHostRoundPerLevel)
+{
+    CsrGraph g = pathGraph(60, 1, 5, 2);
+    auto ref = bfsSequential(g, 0);
+    uint32_t depth = 0;
+    for (uint32_t l : ref)
+        if (l != kInfDistance)
+            depth = std::max(depth, l);
+    AoclResult res = aoclBfs(g, 0);
+    // Rounds = deepest level + a final empty round discovering "done".
+    EXPECT_GE(res.iterations, depth);
+    EXPECT_LE(res.iterations, depth + 2);
+}
+
+TEST(AoclBfs, LaunchOverheadDominatesDeepGraphs)
+{
+    CsrGraph g = pathGraph(400, 1, 5, 2);
+    AoclConfig cheap;
+    cheap.launchOverheadSec = 0.0;
+    AoclConfig costly;
+    costly.launchOverheadSec = 1e-3;
+    double t_cheap = aoclBfs(g, 0, cheap).seconds;
+    double t_costly = aoclBfs(g, 0, costly).seconds;
+    // ~400 rounds x 2 launches x 1 ms.
+    EXPECT_GT(t_costly - t_cheap, 0.5);
+}
+
+TEST(AoclBfs, TrafficScalesWithGraphAndRounds)
+{
+    CsrGraph small = roadNetwork(6, 6, 0.0, 0.0, 10, 1);
+    CsrGraph large = roadNetwork(20, 20, 0.0, 0.0, 10, 1);
+    AoclResult rs = aoclBfs(small, 0);
+    AoclResult rl = aoclBfs(large, 0);
+    EXPECT_GT(rl.bytesMoved, rs.bytesMoved);
+    EXPECT_GT(rl.seconds, rs.seconds);
+}
+
+TEST(AoclBfs, BandwidthMatters)
+{
+    CsrGraph g = roadNetwork(15, 15, 0.05, 0.05, 10, 9);
+    AoclConfig slow;
+    slow.bandwidthBytesPerSec = 1e9;
+    slow.launchOverheadSec = 0.0;
+    AoclConfig fast;
+    fast.bandwidthBytesPerSec = 56e9;
+    fast.launchOverheadSec = 0.0;
+    EXPECT_GT(aoclBfs(g, 0, slow).seconds, aoclBfs(g, 0, fast).seconds);
+}
+
+} // namespace
+} // namespace apir

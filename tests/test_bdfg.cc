@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Unit tests of the BDFG IR: builder wiring, structural verification
+ * diagnostics, topological ordering, and dot export.
+ */
+
+#include <gtest/gtest.h>
+
+#include "bdfg/builder.hh"
+#include "bdfg/graph.hh"
+
+namespace apir {
+namespace {
+
+BdfgGraph
+linearPipeline()
+{
+    PipelineBuilder b("lin", 0);
+    b.alu("a1", [](Token &t) { t.words[1] = t.words[0] + 1; })
+     .alu("a2", [](Token &t) { t.words[2] = t.words[1] * 2; })
+     .sink("done");
+    return b.build();
+}
+
+TEST(Builder, LinearChainHasSourceAndSink)
+{
+    BdfgGraph g = linearPipeline();
+    EXPECT_EQ(g.actors().size(), 4u);
+    EXPECT_EQ(g.actor(g.source()).kind, ActorKind::Source);
+    EXPECT_EQ(g.edges().size(), 3u);
+}
+
+TEST(Builder, SwitchForksTwoPaths)
+{
+    PipelineBuilder b("fork", 0);
+    ActorId sw = b.switchOn("sw");
+    b.path(sw, 0).sink("yes");
+    b.path(sw, 1).sink("no");
+    BdfgGraph g = b.build();
+    EXPECT_EQ(g.actors().size(), 4u);
+    auto outs = g.outEdges(sw);
+    EXPECT_EQ(outs.size(), 2u);
+}
+
+TEST(Builder, AllKindsConstruct)
+{
+    PipelineBuilder b("all", 0);
+    b.load("ld", [](const Token &) { return 64; }, 1)
+     .store("st", [](const Token &) { return 128; },
+            [](const Token &t) { return t.words[0]; })
+     .expand("ex",
+             [](const Token &) {
+                 return std::pair<uint64_t, uint64_t>(0, 2);
+             },
+             2)
+     .allocRule("ar", 0,
+                [](const Token &) {
+                    return std::array<Word, kMaxPayloadWords>{};
+                })
+     .event("ev", 1,
+            [](const Token &) {
+                return std::array<Word, kMaxPayloadWords>{};
+            })
+     .rendezvous("rdv")
+     .commit("cm", [](Token &) {})
+     .enqueue("enq", 0,
+              [](const Token &) {
+                  return std::array<Word, kMaxPayloadWords>{};
+              })
+     .sink("done");
+    BdfgGraph g = b.build();
+    EXPECT_EQ(g.actors().size(), 10u);
+}
+
+TEST(Graph, TopoOrderRespectsEdges)
+{
+    BdfgGraph g = linearPipeline();
+    auto order = g.topoOrder();
+    ASSERT_EQ(order.size(), g.actors().size());
+    // Position map: every edge must go forward.
+    std::vector<size_t> pos(order.size());
+    for (size_t i = 0; i < order.size(); ++i)
+        pos[order[i]] = i;
+    for (const BdfgEdge &e : g.edges())
+        EXPECT_LT(pos[e.from.actor], pos[e.to.actor]);
+}
+
+TEST(Graph, DotExportMentionsActors)
+{
+    BdfgGraph g = linearPipeline();
+    std::string dot = g.toDot();
+    EXPECT_NE(dot.find("digraph"), std::string::npos);
+    EXPECT_NE(dot.find("a1"), std::string::npos);
+    EXPECT_NE(dot.find("Source"), std::string::npos);
+}
+
+using VerifyDeath = ::testing::Test;
+
+TEST(VerifyDeath, MissingSinkFailsVerification)
+{
+    // A dangling output port: alu with no successor.
+    BdfgGraph g("dangling", 0);
+    Actor src;
+    src.kind = ActorKind::Source;
+    src.name = "source";
+    ActorId s = g.addActor(src);
+    Actor a;
+    a.kind = ActorKind::Alu;
+    a.name = "a";
+    a.compute = [](Token &) {};
+    ActorId id = g.addActor(a);
+    g.connect(s, id);
+    EXPECT_EXIT(g.verify(), ::testing::ExitedWithCode(1),
+                "connected 0 times");
+}
+
+TEST(VerifyDeath, TwoSourcesRejected)
+{
+    BdfgGraph g("twosrc", 0);
+    Actor src;
+    src.kind = ActorKind::Source;
+    src.name = "s1";
+    g.addActor(src);
+    src.name = "s2";
+    g.addActor(src);
+    EXPECT_EXIT(g.verify(), ::testing::ExitedWithCode(1),
+                "Source actors");
+}
+
+TEST(VerifyDeath, MissingHookRejected)
+{
+    BdfgGraph g("nohook", 0);
+    Actor src;
+    src.kind = ActorKind::Source;
+    src.name = "source";
+    ActorId s = g.addActor(src);
+    Actor a;
+    a.kind = ActorKind::Alu;
+    a.name = "alu_without_fn";
+    ActorId id = g.addActor(a);
+    Actor k;
+    k.kind = ActorKind::Sink;
+    k.name = "sink";
+    ActorId sk = g.addActor(k);
+    g.connect(s, id);
+    g.connect(id, sk);
+    EXPECT_EXIT(g.verify(), ::testing::ExitedWithCode(1),
+                "missing compute function");
+}
+
+TEST(BuilderDeath, AppendAfterSinkAborts)
+{
+    PipelineBuilder b("bad", 0);
+    b.sink("done");
+    EXPECT_DEATH(b.alu("late", [](Token &) {}),
+                 "terminated path");
+}
+
+TEST(Builder, EdgeCapacityDefaults)
+{
+    BdfgGraph g = linearPipeline();
+    for (const BdfgEdge &e : g.edges())
+        EXPECT_GE(e.capacity, 1u);
+}
+
+} // namespace
+} // namespace apir

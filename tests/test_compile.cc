@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Tests of the compile module: whole-design verification diagnostics,
+ * design analysis (op counts, pipeline depth), and dot export.
+ */
+
+#include <gtest/gtest.h>
+
+#include "apps/bfs.hh"
+#include "bdfg/builder.hh"
+#include "compile/accel_spec.hh"
+#include "graph/generators.hh"
+#include "mem/memsys.hh"
+#include "support/logging.hh"
+
+namespace apir {
+namespace {
+
+AcceleratorSpec
+minimalSpec()
+{
+    AcceleratorSpec spec;
+    spec.name = "mini";
+    spec.sets = {{"t", TaskSetKind::ForEach, 0, 1}};
+    PipelineBuilder b("t", 0);
+    b.alu("nop", [](Token &) {}).sink("done");
+    spec.pipelines.push_back(b.build());
+    return spec;
+}
+
+TEST(AccelSpec, MinimalSpecVerifies)
+{
+    AcceleratorSpec spec = minimalSpec();
+    spec.verify(); // must not die
+    SUCCEED();
+}
+
+TEST(AccelSpecDeath, NoSetsRejected)
+{
+    AcceleratorSpec spec;
+    spec.name = "empty";
+    EXPECT_EXIT(spec.verify(), ::testing::ExitedWithCode(1),
+                "declares no task sets");
+}
+
+TEST(AccelSpecDeath, PipelineCountMismatchRejected)
+{
+    AcceleratorSpec spec = minimalSpec();
+    spec.sets.push_back({"u", TaskSetKind::ForAll, 1, 1});
+    EXPECT_EXIT(spec.verify(), ::testing::ExitedWithCode(1),
+                "one pipeline per task set");
+}
+
+TEST(AccelSpecDeath, EnqueueIntoUnknownSetRejected)
+{
+    AcceleratorSpec spec;
+    spec.name = "badq";
+    spec.sets = {{"t", TaskSetKind::ForEach, 0, 1}};
+    PipelineBuilder b("t", 0);
+    b.enqueue("act", 7,
+              [](const Token &) {
+                  return std::array<Word, kMaxPayloadWords>{};
+              })
+     .sink("done");
+    spec.pipelines.push_back(b.build());
+    EXPECT_EXIT(spec.verify(), ::testing::ExitedWithCode(1),
+                "unknown set");
+}
+
+TEST(AccelSpecDeath, UnknownRuleRejected)
+{
+    AcceleratorSpec spec;
+    spec.name = "badrule";
+    spec.sets = {{"t", TaskSetKind::ForEach, 0, 1}};
+    PipelineBuilder b("t", 0);
+    b.allocRule("mk", 3,
+                [](const Token &) {
+                    return std::array<Word, kMaxPayloadWords>{};
+                })
+     .rendezvous("rdv")
+     .sink("done");
+    spec.pipelines.push_back(b.build());
+    EXPECT_EXIT(spec.verify(), ::testing::ExitedWithCode(1),
+                "unknown rule");
+}
+
+TEST(AccelSpecDeath, InitialTaskInUnknownSetRejected)
+{
+    AcceleratorSpec spec = minimalSpec();
+    spec.seed(5, {});
+    EXPECT_EXIT(spec.verify(), ::testing::ExitedWithCode(1),
+                "unknown set");
+}
+
+TEST(DesignAnalysis, CountsOpsOfRealDesign)
+{
+    setQuietLogging(true);
+    CsrGraph g = uniformGraph(32, 3, 10, 1);
+    MemorySystem mem;
+    auto app = buildSpecBfs(g, 0, mem);
+    DesignStats ds = analyzeDesign(app.spec);
+    EXPECT_EQ(ds.taskSets, 2u);
+    EXPECT_GT(ds.actors, 10u);
+    EXPECT_GE(ds.memOps, 5u);   // rowptr x2, col, level, store
+    EXPECT_GE(ds.ruleOps, 3u);  // alloc + rendezvous + event
+    EXPECT_GT(ds.maxPipelineDepth, 5u);
+}
+
+TEST(DesignAnalysis, DepthOfLinearChain)
+{
+    AcceleratorSpec spec = minimalSpec();
+    DesignStats ds = analyzeDesign(spec);
+    EXPECT_EQ(ds.actors, 3u);           // source, alu, sink
+    EXPECT_EQ(ds.maxPipelineDepth, 3u);
+}
+
+TEST(DesignDot, MentionsEveryPipeline)
+{
+    setQuietLogging(true);
+    CsrGraph g = uniformGraph(32, 3, 10, 1);
+    MemorySystem mem;
+    auto app = buildSpecBfs(g, 0, mem);
+    std::string dot = designToDot(app.spec);
+    EXPECT_NE(dot.find("\"visit\""), std::string::npos);
+    EXPECT_NE(dot.find("\"update\""), std::string::npos);
+    EXPECT_NE(dot.find("Rendezvous"), std::string::npos);
+}
+
+} // namespace
+} // namespace apir

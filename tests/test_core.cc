@@ -1,0 +1,328 @@
+/**
+ * @file
+ * Unit tests of the abstraction (Section 4): the Figure 5 indexing
+ * scheme, the sequential execution model of Definition 4.3, the
+ * deterministic aggressive-parallel executor, the std::thread/future
+ * runtime, and rule (ECA + otherwise) semantics.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <numeric>
+
+#include "apps/bfs.hh"
+#include "apps/sssp.hh"
+#include "core/parallel_executor.hh"
+#include "core/seq_executor.hh"
+#include "core/threaded_runtime.hh"
+#include "graph/generators.hh"
+
+namespace apir {
+namespace {
+
+// ----------------------------------------------------------- TaskIndex
+
+TEST(TaskIndex, LexicographicOrder)
+{
+    TaskIndex a, b;
+    a.c = {1, 0, 0, 0};
+    b.c = {1, 1, 0, 0};
+    EXPECT_LT(a, b);
+    b.c = {0, 9, 9, 9};
+    EXPECT_LT(b, a); // left components weigh more
+    a.c = b.c;
+    EXPECT_EQ(a, b);
+}
+
+TEST(TaskIndex, Figure5IndexingScheme)
+{
+    // tu at depth 0 (for-each), tv at depth 1 (for-each), tw at
+    // depth 2 (for-all), as in the paper's Figure 5.
+    TaskSetDecl u{"u", TaskSetKind::ForEach, 0, 1};
+    TaskSetDecl v{"v", TaskSetKind::ForEach, 1, 1};
+    TaskSetDecl w{"w", TaskSetKind::ForAll, 2, 1};
+    uint32_t cu = 0, cv = 0, cw = 0;
+
+    TaskIndex host{}; // activation from the host
+    TaskIndex tu = childIndex(u, host, cu);
+    EXPECT_EQ(tu.toString(), "{0,0,0,0}");
+    TaskIndex tu2 = childIndex(u, host, cu);
+    EXPECT_EQ(tu2.toString(), "{1,0,0,0}");
+
+    // tv activated by tu2 inherits iu = 1.
+    TaskIndex tv = childIndex(v, tu2, cv);
+    EXPECT_EQ(tv.toString(), "{1,0,0,0}");
+    TaskIndex tv2 = childIndex(v, tu2, cv);
+    EXPECT_EQ(tv2.toString(), "{1,1,0,0}");
+
+    // tw activated by tv2 inherits {1,1}; for-all contributes 0.
+    TaskIndex tw = childIndex(w, tv2, cw);
+    EXPECT_EQ(tw.toString(), "{1,1,0,0}");
+    TaskIndex tw2 = childIndex(w, tv2, cw);
+    EXPECT_EQ(tw2, tw); // for-all iterations share their order
+    EXPECT_EQ(cw, 0u);  // and consume no counter
+}
+
+// --------------------------------------------- a tiny deterministic app
+
+/**
+ * Mini-app: "chain" — task i activates task i+1 up to n, each
+ * appending its payload to a log. Sequential semantics must produce
+ * 0..n-1 in order.
+ */
+AppSpec
+chainApp(std::shared_ptr<std::vector<Word>> log, Word n)
+{
+    AppSpec app;
+    app.name = "chain";
+    app.sets = {{"step", TaskSetKind::ForEach, 0, 1}};
+    TaskBody body;
+    body.pre = [log, n](TaskContext &ctx, const SwTask &t) {
+        log->push_back(t.data[0]);
+        if (t.data[0] + 1 < n)
+            ctx.activate(0, {t.data[0] + 1});
+        return false;
+    };
+    body.post = [](TaskContext &, const SwTask &, bool) {};
+    app.bodies = {body};
+    app.seed(0, {0});
+    return app;
+}
+
+TEST(SequentialExecutor, RunsChainInOrder)
+{
+    auto log = std::make_shared<std::vector<Word>>();
+    AppSpec app = chainApp(log, 10);
+    SequentialExecutor exec(app);
+    ExecStats st = exec.run();
+    EXPECT_EQ(st.executed, 10u);
+    std::vector<Word> expect(10);
+    std::iota(expect.begin(), expect.end(), 0);
+    EXPECT_EQ(*log, expect);
+}
+
+TEST(ParallelExecutor, RunsChainCompletely)
+{
+    auto log = std::make_shared<std::vector<Word>>();
+    AppSpec app = chainApp(log, 25);
+    ParallelExecutor exec(app, {4});
+    ExecStats st = exec.run();
+    EXPECT_EQ(st.executed, 25u);
+    EXPECT_EQ(log->size(), 25u);
+}
+
+TEST(ThreadedRuntime, RunsChainCompletely)
+{
+    auto log = std::make_shared<std::vector<Word>>();
+    AppSpec app = chainApp(log, 25);
+    ThreadedRuntime exec(app, {3});
+    ExecStats st = exec.run();
+    EXPECT_EQ(st.executed, 25u);
+    // The log itself is racy only if two tasks run at once; the chain
+    // is inherently serial, so it must still be in order.
+    std::vector<Word> expect(25);
+    std::iota(expect.begin(), expect.end(), 0);
+    EXPECT_EQ(*log, expect);
+}
+
+// ------------------------------------------------ rule/otherwise basics
+
+/**
+ * Mini-app: "gate" — n for-each tasks, all waiting at a rendezvous
+ * with an otherwise-only rule; each appends its payload on commit.
+ * The otherwise trigger admits minimum tasks first, so the commit
+ * order must be ascending regardless of executor.
+ */
+AppSpec
+gateApp(std::shared_ptr<std::vector<Word>> log, Word n)
+{
+    AppSpec app;
+    app.name = "gate";
+    app.sets = {{"task", TaskSetKind::ForEach, 0, 1}};
+    RuleSpec rule;
+    rule.name = "order_gate";
+    rule.otherwise = true;
+    app.rules.push_back(rule);
+
+    TaskBody body;
+    body.pre = [](TaskContext &ctx, const SwTask &) {
+        ctx.createRule(0, {});
+        return true;
+    };
+    body.post = [log](TaskContext &ctx, const SwTask &t, bool verdict) {
+        EXPECT_TRUE(verdict);
+        ctx.atomically([&] { log->push_back(t.data[0]); });
+    };
+    app.bodies = {body};
+    for (Word i = 0; i < n; ++i)
+        app.seed(0, {i});
+    return app;
+}
+
+TEST(ParallelExecutor, OtherwiseCommitsInWellOrder)
+{
+    auto log = std::make_shared<std::vector<Word>>();
+    AppSpec app = gateApp(log, 16);
+    ParallelExecutor exec(app, {4});
+    ExecStats st = exec.run();
+    EXPECT_EQ(st.executed, 16u);
+    EXPECT_EQ(st.otherwiseFires, 16u);
+    EXPECT_TRUE(std::is_sorted(log->begin(), log->end()));
+}
+
+TEST(SequentialExecutor, OtherwiseValueFalseSquashes)
+{
+    auto log = std::make_shared<std::vector<Word>>();
+    AppSpec app = gateApp(log, 4);
+    app.rules[0].otherwise = false;
+    // post asserts verdict; replace it for this variant.
+    app.bodies[0].post = [log](TaskContext &, const SwTask &t,
+                               bool verdict) {
+        if (verdict)
+            log->push_back(t.data[0]);
+    };
+    SequentialExecutor exec(app);
+    ExecStats st = exec.run();
+    EXPECT_EQ(st.executed, 4u);
+    EXPECT_EQ(st.squashed, 4u);
+    EXPECT_TRUE(log->empty());
+}
+
+/**
+ * Mini-app: "hazard" — two for-each tasks target the same location;
+ * the first to commit broadcasts an event that squashes the other.
+ */
+TEST(ParallelExecutor, EcaClauseSquashesConflictingTask)
+{
+    auto hits = std::make_shared<std::vector<Word>>();
+    AppSpec app;
+    app.name = "hazard";
+    app.sets = {{"w", TaskSetKind::ForEach, 0, 1}};
+    RuleSpec rule;
+    rule.name = "conflict";
+    rule.otherwise = true;
+    rule.clauses.push_back(
+        {7,
+         [](const RuleParams &p, const EventData &ev) {
+             return ev.words[0] == p.words[0] && ev.index < p.index;
+         },
+         false});
+    app.rules.push_back(rule);
+
+    TaskBody body;
+    body.pre = [](TaskContext &ctx, const SwTask &t) {
+        std::array<Word, kMaxPayloadWords> p{};
+        p[0] = t.data[0];
+        ctx.createRule(0, p);
+        return true;
+    };
+    body.post = [hits](TaskContext &ctx, const SwTask &t, bool verdict) {
+        if (!verdict)
+            return;
+        std::array<Word, kMaxPayloadWords> ev{};
+        ev[0] = t.data[0];
+        ctx.signalEvent(7, ev);
+        ctx.atomically([&] { hits->push_back(t.data[0]); });
+    };
+    app.bodies = {body};
+    app.seed(0, {42}); // same location twice
+    app.seed(0, {42});
+
+    ParallelExecutor exec(app, {2});
+    ExecStats st = exec.run();
+    EXPECT_EQ(st.executed, 2u);
+    EXPECT_EQ(st.squashed, 1u);
+    EXPECT_EQ(st.ruleReturns, 1u);
+    EXPECT_EQ(hits->size(), 1u);
+}
+
+// ------------------------------- cross-executor equivalence on real apps
+
+class ExecutorEquivalence : public ::testing::TestWithParam<uint64_t>
+{
+  protected:
+    CsrGraph
+    graph() const
+    {
+        return uniformGraph(120, 4, 40, GetParam());
+    }
+};
+
+TEST_P(ExecutorEquivalence, SpecBfsAllExecutorsAgree)
+{
+    CsrGraph g = graph();
+    auto ref = bfsSequential(g, 0);
+
+    auto l1 = std::make_shared<std::vector<uint32_t>>(g.numVertices());
+    auto spec1 = specBfsAppSpec(g, 0, l1);
+    SequentialExecutor s(spec1);
+    s.run();
+    EXPECT_EQ(*l1, ref);
+
+    auto l2 = std::make_shared<std::vector<uint32_t>>(g.numVertices());
+    auto spec2 = specBfsAppSpec(g, 0, l2);
+    ParallelExecutor p(spec2, {6});
+    p.run();
+    EXPECT_EQ(*l2, ref);
+
+    auto l3 = std::make_shared<std::vector<uint32_t>>(g.numVertices());
+    auto spec3 = specBfsAppSpec(g, 0, l3);
+    ThreadedRuntime t(spec3, {4});
+    t.run();
+    EXPECT_EQ(*l3, ref);
+}
+
+TEST_P(ExecutorEquivalence, CoorBfsAllExecutorsAgree)
+{
+    CsrGraph g = graph();
+    auto ref = bfsSequential(g, 0);
+
+    auto l1 = std::make_shared<std::vector<uint32_t>>(g.numVertices());
+    auto spec1 = coorBfsAppSpec(g, 0, l1);
+    SequentialExecutor s(spec1);
+    s.run();
+    EXPECT_EQ(*l1, ref);
+
+    auto l2 = std::make_shared<std::vector<uint32_t>>(g.numVertices());
+    auto spec2 = coorBfsAppSpec(g, 0, l2);
+    ParallelExecutor p(spec2, {6});
+    p.run();
+    EXPECT_EQ(*l2, ref);
+
+    auto l3 = std::make_shared<std::vector<uint32_t>>(g.numVertices());
+    auto spec3 = coorBfsAppSpec(g, 0, l3);
+    ThreadedRuntime t(spec3, {4});
+    t.run();
+    EXPECT_EQ(*l3, ref);
+}
+
+TEST_P(ExecutorEquivalence, SpecSsspAllExecutorsAgree)
+{
+    CsrGraph g = graph();
+    auto ref = ssspSequential(g, 0);
+
+    auto d1 = std::make_shared<std::vector<uint32_t>>(g.numVertices());
+    auto spec1 = specSsspAppSpec(g, 0, d1);
+    SequentialExecutor s(spec1);
+    s.run();
+    EXPECT_EQ(*d1, ref);
+
+    auto d2 = std::make_shared<std::vector<uint32_t>>(g.numVertices());
+    auto spec2 = specSsspAppSpec(g, 0, d2);
+    ParallelExecutor p(spec2, {6});
+    p.run();
+    EXPECT_EQ(*d2, ref);
+
+    auto d3 = std::make_shared<std::vector<uint32_t>>(g.numVertices());
+    auto spec3 = specSsspAppSpec(g, 0, d3);
+    ThreadedRuntime t(spec3, {4});
+    t.run();
+    EXPECT_EQ(*d3, ref);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ExecutorEquivalence,
+                         ::testing::Values(3, 8, 21));
+
+} // namespace
+} // namespace apir

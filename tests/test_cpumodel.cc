@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Tests of the CPU-side models: the multicore round emulator and the
+ * Xeon roofline timing model (monotonicity, Amdahl behaviour,
+ * bandwidth saturation).
+ */
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "cpumodel/multicore.hh"
+#include "cpumodel/xeon_model.hh"
+
+namespace apir {
+namespace {
+
+// ------------------------------------------------------ MulticoreEmulator
+
+TEST(Multicore, RoundsSpeedUpWithTasks)
+{
+    MulticoreConfig cfg;
+    cfg.cores = 8;
+    cfg.barrierSeconds = 0.0;
+    MulticoreEmulator emu(cfg);
+
+    auto spin = [] {
+        volatile double x = 0;
+        for (int i = 0; i < 200000; ++i)
+            x += i;
+    };
+    emu.beginRound();
+    spin();
+    emu.endRound(1); // serial round: no speedup
+    double after_serial = emu.emulatedSeconds();
+
+    emu.beginRound();
+    spin();
+    emu.endRound(64); // wide round: ~8x
+    double wide_round = emu.emulatedSeconds() - after_serial;
+
+    EXPECT_LT(wide_round, after_serial);
+    EXPECT_GT(emu.sequentialSeconds(), emu.emulatedSeconds());
+    EXPECT_EQ(emu.rounds(), 2u);
+}
+
+TEST(Multicore, SpeedupCappedByMemoryCeiling)
+{
+    MulticoreConfig cfg;
+    cfg.cores = 64;
+    cfg.memSpeedupCap = 2.0;
+    cfg.barrierSeconds = 0.0;
+    MulticoreEmulator emu(cfg);
+    emu.beginRound();
+    volatile double x = 0;
+    for (int i = 0; i < 200000; ++i)
+        x += i;
+    emu.endRound(1000);
+    // Even with 64 cores and 1000 tasks, the cap holds: emulated time
+    // is at least half the observed serial time.
+    EXPECT_GE(emu.emulatedSeconds() * 2.0 * 1.0001,
+              emu.sequentialSeconds());
+}
+
+TEST(Multicore, BarriersAccumulate)
+{
+    MulticoreConfig cfg;
+    cfg.barrierSeconds = 1e-3;
+    MulticoreEmulator emu(cfg);
+    for (int i = 0; i < 5; ++i) {
+        emu.beginRound();
+        emu.endRound(4);
+    }
+    EXPECT_GE(emu.emulatedSeconds(), 5e-3);
+}
+
+TEST(Multicore, AddSerialCountsFully)
+{
+    MulticoreEmulator emu;
+    emu.addSerial(0.25);
+    EXPECT_DOUBLE_EQ(emu.emulatedSeconds(), 0.25);
+    EXPECT_DOUBLE_EQ(emu.sequentialSeconds(), 0.25);
+}
+
+// -------------------------------------------------------------- XeonModel
+
+WorkCounts
+sampleWork()
+{
+    WorkCounts w;
+    w.instructions = 1e8;
+    w.flops = 2e8;
+    w.randomAccesses = 1e6;
+    w.streamedBytes = 1e8;
+    w.serialFraction = 0.1;
+    w.rounds = 100;
+    return w;
+}
+
+TEST(XeonModel, MoreCoresNeverSlower)
+{
+    XeonParams p;
+    WorkCounts w = sampleWork();
+    double prev = xeonTime(w, p, 1);
+    for (uint32_t c : {2u, 4u, 10u, 20u}) {
+        double t = xeonTime(w, p, c);
+        EXPECT_LE(t, prev * 1.0001);
+        prev = t;
+    }
+}
+
+TEST(XeonModel, AmdahlLimitsScaling)
+{
+    XeonParams p;
+    p.barrierSec = 0.0;
+    WorkCounts w = sampleWork();
+    w.serialFraction = 0.5;
+    double t1 = xeonTime(w, p, 1);
+    double t1000 = xeonTime(w, p, 1000);
+    EXPECT_GT(t1000, 0.45 * t1); // can never beat the serial half
+}
+
+TEST(XeonModel, StreamingSaturatesSocketBandwidth)
+{
+    XeonParams p;
+    p.barrierSec = 0.0;
+    WorkCounts w;
+    w.streamedBytes = 50e9; // exactly one second at socket bandwidth
+    double t10 = xeonTime(w, p, 10);
+    double t20 = xeonTime(w, p, 20);
+    // Once the socket is saturated, cores stop helping.
+    EXPECT_NEAR(t10, t20, 0.15 * t10);
+    EXPECT_GE(t10, 0.8); // close to the 1-second bandwidth floor
+}
+
+TEST(XeonModel, RandomAccessDominatedByLatencyOverMlp)
+{
+    XeonParams p;
+    p.barrierSec = 0.0;
+    WorkCounts w;
+    w.randomAccesses = 1e6;
+    double t = xeonTime(w, p, 1);
+    EXPECT_NEAR(t, 1e6 * p.dramLatencySec / p.mlp, 1e-6);
+}
+
+TEST(XeonModel, BarriersChargedPerRound)
+{
+    XeonParams p;
+    WorkCounts w;
+    w.rounds = 1000;
+    w.instructions = 1;
+    double t = xeonTime(w, p, 10);
+    EXPECT_GE(t, 1000 * p.barrierSec);
+}
+
+TEST(XeonModel, FlopsPricedSeparately)
+{
+    XeonParams p;
+    WorkCounts w;
+    w.flops = p.flopsPerCycle * p.freqHz; // one second of FP work
+    EXPECT_NEAR(xeonTime(w, p, 1), 1.0, 1e-9);
+}
+
+} // namespace
+} // namespace apir

@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Tests of the design-space explorer: pruning against the resource
+ * model, winner selection, greedy-vs-exhaustive consistency, and
+ * integration with a real benchmark design.
+ */
+
+#include <gtest/gtest.h>
+
+#include "apps/bfs.hh"
+#include "dse/explorer.hh"
+#include "graph/generators.hh"
+#include "hw/accelerator.hh"
+#include "support/logging.hh"
+
+namespace apir {
+namespace {
+
+/** A runner whose "simulated time" is a known function of the cfg. */
+DseRunner
+syntheticRunner()
+{
+    return [](const AccelConfig &cfg) {
+        // Best at pipes=4, lanes=32; others strictly worse.
+        double t = 1.0;
+        t += std::abs(static_cast<int>(cfg.pipelinesPerSet) - 4) * 0.2;
+        t += std::abs(static_cast<int>(cfg.ruleLanes) - 32) * 0.01;
+        return std::make_pair(t, 0.5);
+    };
+}
+
+AcceleratorSpec
+tinySpec(MemorySystem &mem)
+{
+    CsrGraph g = uniformGraph(32, 3, 10, 1);
+    return buildSpecBfs(g, 0, mem).spec;
+}
+
+TEST(Dse, ExhaustiveFindsTheKnownOptimum)
+{
+    setQuietLogging(true);
+    MemorySystem mem;
+    AcceleratorSpec spec = tinySpec(mem);
+    DseOptions opt;
+    opt.greedy = false;
+    DseResult res = exploreDesignSpace(spec, AccelConfig{},
+                                       syntheticRunner(), opt);
+    EXPECT_EQ(res.best().cfg.pipelinesPerSet, 4u);
+    EXPECT_EQ(res.best().cfg.ruleLanes, 32u);
+    EXPECT_GT(res.evaluations, 0u);
+}
+
+TEST(Dse, GreedyFindsTheOptimumWithFewerEvaluations)
+{
+    setQuietLogging(true);
+    MemorySystem mem;
+    AcceleratorSpec spec = tinySpec(mem);
+
+    DseOptions ex;
+    ex.greedy = false;
+    DseResult full = exploreDesignSpace(spec, AccelConfig{},
+                                        syntheticRunner(), ex);
+    DseOptions gr;
+    gr.greedy = true;
+    DseResult greedy = exploreDesignSpace(spec, AccelConfig{},
+                                          syntheticRunner(), gr);
+    EXPECT_LT(greedy.evaluations, full.evaluations);
+    // The synthetic landscape is unimodal per dimension, so greedy
+    // coordinate descent must land on the same optimum.
+    EXPECT_DOUBLE_EQ(greedy.best().seconds, full.best().seconds);
+}
+
+TEST(Dse, TinyDevicePrunesBigDesigns)
+{
+    setQuietLogging(true);
+    MemorySystem mem;
+    AcceleratorSpec spec = tinySpec(mem);
+    DseOptions opt;
+    opt.greedy = false;
+    opt.device.registers = 400'000; // too small for 8 replicas
+    DseResult res = exploreDesignSpace(spec, AccelConfig{},
+                                       syntheticRunner(), opt);
+    EXPECT_GT(res.pruned, 0u);
+    // Whatever won must actually fit.
+    Resources t = res.best().resources.total();
+    EXPECT_LE(t.registers, opt.device.registers);
+}
+
+TEST(DseDeath, NoFittingConfigurationIsFatal)
+{
+    setQuietLogging(true);
+    MemorySystem mem;
+    AcceleratorSpec spec = tinySpec(mem);
+    DseOptions opt;
+    opt.device.registers = 1; // nothing fits
+    EXPECT_EXIT(
+        exploreDesignSpace(spec, AccelConfig{}, syntheticRunner(), opt),
+        ::testing::ExitedWithCode(1), "no fitting configuration");
+}
+
+TEST(Dse, EvaluationBudgetIsRespected)
+{
+    setQuietLogging(true);
+    MemorySystem mem;
+    AcceleratorSpec spec = tinySpec(mem);
+    DseOptions opt;
+    opt.greedy = false;
+    opt.maxEvaluations = 3;
+    DseResult res = exploreDesignSpace(spec, AccelConfig{},
+                                       syntheticRunner(), opt);
+    EXPECT_LE(res.evaluations, 3u);
+}
+
+TEST(Dse, RealSimulatorIntegration)
+{
+    setQuietLogging(true);
+    CsrGraph g = roadNetwork(8, 10, 0.08, 0.05, 50, 3);
+    auto ref = bfsSequential(g, 0);
+
+    MemorySystem scratch;
+    AcceleratorSpec spec = buildSpecBfs(g, 0, scratch).spec;
+
+    DseOptions opt;
+    opt.greedy = true;
+    opt.pipelinesPerSet = {1, 2, 4};
+    opt.ruleLanes = {8, 16};
+    opt.queueBanks = {2};
+    opt.lsuEntries = {8};
+
+    DseRunner runner = [&](const AccelConfig &cfg) {
+        MemorySystem mem(cfg.mem);
+        auto app = buildSpecBfs(g, 0, mem);
+        Accelerator accel(app.spec, cfg, mem);
+        RunResult rr = accel.run();
+        EXPECT_EQ(readLevels(app.img, mem), ref); // every point correct
+        return std::make_pair(rr.seconds, rr.utilization);
+    };
+    DseResult res = exploreDesignSpace(spec, AccelConfig{}, runner, opt);
+    EXPECT_TRUE(res.best().evaluated);
+    EXPECT_GT(res.best().seconds, 0.0);
+}
+
+TEST(Dse, DescribeConfigMentionsEveryKnob)
+{
+    AccelConfig cfg;
+    cfg.pipelinesPerSet = 3;
+    cfg.ruleLanes = 7;
+    std::string s = describeConfig(cfg);
+    EXPECT_NE(s.find("pipes=3"), std::string::npos);
+    EXPECT_NE(s.find("lanes=7"), std::string::npos);
+}
+
+} // namespace
+} // namespace apir

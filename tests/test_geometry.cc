@@ -1,0 +1,190 @@
+/**
+ * @file
+ * Unit and property tests of the geometry substrate: predicates,
+ * Delaunay triangulation invariants, cavity operations, and
+ * refinement termination/quality.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "geometry/mesh.hh"
+#include "geometry/refine.hh"
+#include "support/random.hh"
+
+namespace apir {
+namespace {
+
+TEST(Predicates, Orientation)
+{
+    Point a{0, 0}, b{1, 0}, c{0, 1};
+    EXPECT_GT(orient2d(a, b, c), 0.0); // CCW
+    EXPECT_LT(orient2d(a, c, b), 0.0); // CW
+    EXPECT_DOUBLE_EQ(orient2d(a, b, {2, 0}), 0.0); // collinear
+}
+
+TEST(Predicates, InCircle)
+{
+    Point a{0, 0}, b{1, 0}, c{0, 1};
+    EXPECT_GT(inCircle(a, b, c, {0.3, 0.3}), 0.0);  // inside
+    EXPECT_LT(inCircle(a, b, c, {5.0, 5.0}), 0.0);  // outside
+}
+
+TEST(Predicates, Circumcenter)
+{
+    Point a{0, 0}, b{2, 0}, c{0, 2};
+    Point cc = circumcenter(a, b, c);
+    EXPECT_NEAR(cc.x, 1.0, 1e-12);
+    EXPECT_NEAR(cc.y, 1.0, 1e-12);
+    // Equidistant from all three corners.
+    EXPECT_NEAR(distSq(cc, a), distSq(cc, b), 1e-12);
+    EXPECT_NEAR(distSq(cc, a), distSq(cc, c), 1e-12);
+}
+
+TEST(Predicates, MinAngleOfEquilateral)
+{
+    Point a{0, 0}, b{1, 0}, c{0.5, std::sqrt(3.0) / 2.0};
+    EXPECT_NEAR(minAngle(a, b, c), M_PI / 3.0, 1e-9);
+}
+
+TEST(Mesh, InitialBoxIsConsistent)
+{
+    Mesh m(0.0, 1.0);
+    EXPECT_EQ(m.numAliveTriangles(), 2u);
+    m.checkConsistency();
+    EXPECT_TRUE(m.isDelaunay());
+}
+
+TEST(Mesh, LocateFindsContainingTriangle)
+{
+    Mesh m = randomDelaunayMesh(50, 7);
+    Rng rng(3);
+    for (int i = 0; i < 50; ++i) {
+        Point p{rng.real(), rng.real()};
+        TriId t = m.locate(p);
+        ASSERT_NE(t, kNoTri);
+        const Triangle &tri = m.triangle(t);
+        // p must not be strictly outside any edge.
+        for (int s = 0; s < 3; ++s) {
+            EXPECT_GE(orient2d(m.point(tri.v[(s + 1) % 3]),
+                               m.point(tri.v[(s + 2) % 3]), p),
+                      -1e-12);
+        }
+    }
+}
+
+TEST(Mesh, LocateRejectsOutsidePoints)
+{
+    Mesh m(0.0, 1.0);
+    EXPECT_EQ(m.locate({2.0, 2.0}), kNoTri);
+    EXPECT_EQ(m.locate({-0.1, 0.5}), kNoTri);
+}
+
+TEST(Mesh, InsertRejectsDuplicates)
+{
+    Mesh m(0.0, 1.0);
+    auto t1 = m.insertPoint({0.5, 0.5});
+    EXPECT_FALSE(t1.empty());
+    auto t2 = m.insertPoint({0.5, 0.5});
+    EXPECT_TRUE(t2.empty());
+}
+
+/** Property: incremental Delaunay stays Delaunay and consistent. */
+class DelaunayProps : public ::testing::TestWithParam<uint64_t>
+{
+};
+
+TEST_P(DelaunayProps, InvariantsAfterEveryBatch)
+{
+    Rng rng(GetParam());
+    Mesh m(0.0, 1.0);
+    for (int batch = 0; batch < 5; ++batch) {
+        for (int i = 0; i < 20; ++i)
+            m.insertPoint({0.05 + 0.9 * rng.real(),
+                           0.05 + 0.9 * rng.real()});
+        m.checkConsistency();
+        EXPECT_TRUE(m.isDelaunay());
+    }
+    // Euler: with v vertices (4 corners included), a triangulation of
+    // a convex region has 2v - 2 - h triangles where h = hull size;
+    // our hull is the 4 box corners plus any points on it; just check
+    // the plausible range.
+    uint32_t v = static_cast<uint32_t>(m.points().size());
+    EXPECT_GE(m.numAliveTriangles(), v);
+    EXPECT_LE(m.numAliveTriangles(), 2 * v);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DelaunayProps,
+                         ::testing::Values(1, 5, 23, 42));
+
+TEST(Cavity, ContainsSeedAndIsConnected)
+{
+    Mesh m = randomDelaunayMesh(80, 9);
+    Point p{0.4, 0.6};
+    TriId seed = m.locate(p);
+    ASSERT_NE(seed, kNoTri);
+    auto cav = m.cavity(p, seed);
+    EXPECT_FALSE(cav.empty());
+    EXPECT_NE(std::find(cav.begin(), cav.end(), seed), cav.end());
+    // Every cavity triangle's circumcircle contains p (seed exempt).
+    for (TriId t : cav) {
+        if (t == seed)
+            continue;
+        const Triangle &tri = m.triangle(t);
+        EXPECT_GT(inCircle(m.point(tri.v[0]), m.point(tri.v[1]),
+                           m.point(tri.v[2]), p),
+                  0.0);
+    }
+}
+
+TEST(Refine, SingleStepReducesBadness)
+{
+    RefineParams params;
+    Mesh m = randomDelaunayMesh(40, 11);
+    auto bad = findBadTriangles(m, params.minAngleRad, params.minArea);
+    if (bad.empty())
+        GTEST_SKIP() << "mesh happened to be good";
+    auto res = refineTriangle(m, bad.front(), params);
+    EXPECT_TRUE(res.applied);
+    EXPECT_FALSE(res.created.empty());
+    m.checkConsistency();
+    // The refined triangle is gone.
+    EXPECT_FALSE(m.alive(bad.front()));
+}
+
+TEST(Refine, StaleTaskIsRejected)
+{
+    RefineParams params;
+    Mesh m = randomDelaunayMesh(40, 13);
+    auto bad = findBadTriangles(m, params.minAngleRad, params.minArea);
+    if (bad.empty())
+        GTEST_SKIP() << "mesh happened to be good";
+    auto res = refineTriangle(m, bad.front(), params);
+    ASSERT_TRUE(res.applied);
+    // Refining the same (now dead) triangle again must be a no-op.
+    auto res2 = refineTriangle(m, bad.front(), params);
+    EXPECT_FALSE(res2.applied);
+}
+
+/** Property: refinement terminates with no refinable bad triangle. */
+class RefineProps : public ::testing::TestWithParam<uint64_t>
+{
+};
+
+TEST_P(RefineProps, TerminatesWithQualityMesh)
+{
+    RefineParams params;
+    Mesh m = randomDelaunayMesh(60, GetParam());
+    uint64_t applied = refineMesh(m, params);
+    (void)applied;
+    m.checkConsistency();
+    EXPECT_TRUE(
+        findBadTriangles(m, params.minAngleRad, params.minArea).empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RefineProps,
+                         ::testing::Values(2, 3, 31, 77));
+
+} // namespace
+} // namespace apir

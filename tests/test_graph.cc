@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Unit and property tests of the graph substrate: CSR construction,
+ * generators' structural guarantees, and DIMACS round-tripping.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "graph/dimacs.hh"
+#include "graph/generators.hh"
+
+namespace apir {
+namespace {
+
+TEST(Csr, BuildsFromUnsortedEdges)
+{
+    std::vector<EdgeTriple> edges = {
+        {2, 0, 5}, {0, 1, 3}, {0, 2, 4}, {1, 2, 1}};
+    CsrGraph g(3, edges);
+    EXPECT_EQ(g.numVertices(), 3u);
+    EXPECT_EQ(g.numEdges(), 4u);
+    EXPECT_EQ(g.degree(0), 2u);
+    EXPECT_EQ(g.degree(1), 1u);
+    EXPECT_EQ(g.degree(2), 1u);
+    // Rows sorted by destination.
+    EXPECT_EQ(g.edgeDst(g.rowBegin(0)), 1u);
+    EXPECT_EQ(g.edgeDst(g.rowBegin(0) + 1), 2u);
+    EXPECT_EQ(g.edgeWeight(g.rowBegin(1)), 1u);
+}
+
+TEST(Csr, EmptyGraph)
+{
+    CsrGraph g(4, {});
+    EXPECT_EQ(g.numEdges(), 0u);
+    for (VertexId v = 0; v < 4; ++v)
+        EXPECT_EQ(g.degree(v), 0u);
+    EXPECT_EQ(g.reachableFrom(0), 1u);
+}
+
+TEST(Csr, ReachableCountsComponent)
+{
+    // Two components: {0,1,2} and {3}.
+    std::vector<EdgeTriple> edges = {
+        {0, 1, 1}, {1, 0, 1}, {1, 2, 1}, {2, 1, 1}};
+    CsrGraph g(4, edges);
+    EXPECT_EQ(g.reachableFrom(0), 3u);
+    EXPECT_EQ(g.reachableFrom(3), 1u);
+}
+
+TEST(Csr, MaxDegree)
+{
+    std::vector<EdgeTriple> edges = {{0, 1, 1}, {0, 2, 1}, {0, 3, 1}};
+    CsrGraph g(4, edges);
+    EXPECT_EQ(g.maxDegree(), 3u);
+}
+
+/** Property sweep over generator seeds. */
+class RoadNetProps : public ::testing::TestWithParam<uint64_t>
+{
+};
+
+TEST_P(RoadNetProps, ConnectedBoundedDegreeSymmetric)
+{
+    CsrGraph g = roadNetwork(15, 20, 0.08, 0.05, 100, GetParam());
+    EXPECT_EQ(g.numVertices(), 300u);
+    // Boundary ring guarantees connectivity.
+    EXPECT_EQ(g.reachableFrom(0), g.numVertices());
+    // Lattice + diagonals: degree stays small.
+    EXPECT_LE(g.maxDegree(), 8u);
+    // Undirected: every arc has its reverse with equal weight.
+    for (VertexId v = 0; v < g.numVertices(); ++v) {
+        for (EdgeId e = g.rowBegin(v); e < g.rowEnd(v); ++e) {
+            VertexId u = g.edgeDst(e);
+            bool found = false;
+            for (EdgeId f = g.rowBegin(u); f < g.rowEnd(u); ++f) {
+                if (g.edgeDst(f) == v &&
+                    g.edgeWeight(f) == g.edgeWeight(e))
+                    found = true;
+            }
+            EXPECT_TRUE(found) << "missing reverse arc " << u << "->" << v;
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RoadNetProps,
+                         ::testing::Values(1, 2, 3, 17, 99));
+
+TEST(Generators, RmatIsDeduplicatedAndInRange)
+{
+    CsrGraph g = rmatGraph(9, 4, 0.57, 0.19, 0.19, 100, 5);
+    EXPECT_EQ(g.numVertices(), 512u);
+    EXPECT_LE(g.numEdges(), 512u * 4u);
+    for (VertexId v = 0; v < g.numVertices(); ++v) {
+        for (EdgeId e = g.rowBegin(v); e + 1 < g.rowEnd(v); ++e) {
+            // Sorted rows => duplicates would be adjacent.
+            EXPECT_LT(g.edgeDst(e), g.edgeDst(e + 1));
+        }
+    }
+}
+
+TEST(Generators, RmatIsSkewed)
+{
+    CsrGraph g = rmatGraph(10, 8, 0.57, 0.19, 0.19, 100, 5);
+    // Power-law-ish: max degree far above average.
+    EXPECT_GT(g.maxDegree(), 8u * 4u);
+}
+
+TEST(Generators, UniformHasNoSelfLoops)
+{
+    CsrGraph g = uniformGraph(300, 6, 50, 3);
+    for (VertexId v = 0; v < g.numVertices(); ++v)
+        for (EdgeId e = g.rowBegin(v); e < g.rowEnd(v); ++e)
+            EXPECT_NE(g.edgeDst(e), v);
+}
+
+TEST(Generators, PathGraphHasLargeDiameter)
+{
+    CsrGraph g = pathGraph(300, 1, 10, 1);
+    EXPECT_EQ(g.reachableFrom(0), 300u);
+    // A path's BFS from one end needs n-1 levels; just check the far
+    // end is reached and the graph is thin.
+    EXPECT_LE(g.maxDegree(), 2u);
+}
+
+TEST(Generators, PathGraphWithBranches)
+{
+    CsrGraph g = pathGraph(300, 3, 10, 1);
+    EXPECT_EQ(g.reachableFrom(0), 300u);
+}
+
+TEST(Dimacs, RoundTrip)
+{
+    CsrGraph g = uniformGraph(40, 4, 30, 21);
+    std::stringstream ss;
+    writeDimacs(g, ss);
+    CsrGraph h = readDimacs(ss);
+    EXPECT_EQ(h.numVertices(), g.numVertices());
+    EXPECT_EQ(h.numEdges(), g.numEdges());
+    for (VertexId v = 0; v < g.numVertices(); ++v) {
+        ASSERT_EQ(h.degree(v), g.degree(v));
+        for (EdgeId e = g.rowBegin(v); e < g.rowEnd(v); ++e) {
+            EXPECT_EQ(h.edgeDst(e), g.edgeDst(e));
+            EXPECT_EQ(h.edgeWeight(e), g.edgeWeight(e));
+        }
+    }
+}
+
+TEST(Dimacs, ParsesCommentsAndHeader)
+{
+    std::stringstream ss("c hello\np sp 3 2\na 1 2 5\na 2 3 7\n");
+    CsrGraph g = readDimacs(ss);
+    EXPECT_EQ(g.numVertices(), 3u);
+    EXPECT_EQ(g.numEdges(), 2u);
+    EXPECT_EQ(g.edgeDst(g.rowBegin(0)), 1u);
+    EXPECT_EQ(g.edgeWeight(g.rowBegin(1)), 7u);
+}
+
+} // namespace
+} // namespace apir

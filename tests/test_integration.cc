@@ -1,0 +1,145 @@
+/**
+ * @file
+ * End-to-end integration tests: every benchmark's generated
+ * accelerator, run on the cycle-level simulator against the HARP-like
+ * memory system, must reproduce the sequential reference result
+ * exactly (graph properties) or to numerical tolerance (LU), on
+ * several graph/mesh/matrix families.
+ */
+
+#include <gtest/gtest.h>
+
+#include "apps/bfs.hh"
+#include "apps/dmr.hh"
+#include "apps/lu.hh"
+#include "apps/mst.hh"
+#include "apps/sssp.hh"
+#include "graph/generators.hh"
+#include "hw/accelerator.hh"
+#include "support/logging.hh"
+
+namespace apir {
+namespace {
+
+AccelConfig
+smallConfig()
+{
+    AccelConfig cfg;
+    cfg.pipelinesPerSet = 2;
+    cfg.ruleLanes = 16;
+    cfg.queueBanks = 2;
+    return cfg;
+}
+
+class IntegrationBfs : public ::testing::TestWithParam<int>
+{
+  protected:
+    CsrGraph
+    makeGraph() const
+    {
+        switch (GetParam()) {
+          case 0: return roadNetwork(12, 14, 0.08, 0.05, 100, 7);
+          case 1: return rmatGraph(8, 6, 0.57, 0.19, 0.19, 50, 11);
+          case 2: return pathGraph(160, 2, 10, 5);
+          default: return uniformGraph(200, 5, 60, 13);
+        }
+    }
+};
+
+TEST_P(IntegrationBfs, SpecBfsMatchesSequential)
+{
+    setQuietLogging(true);
+    CsrGraph g = makeGraph();
+    auto ref = bfsSequential(g, 0);
+
+    MemorySystem mem;
+    auto app = buildSpecBfs(g, 0, mem);
+    Accelerator accel(app.spec, smallConfig(), mem);
+    RunResult rr = accel.run();
+    EXPECT_GT(rr.cycles, 0u);
+    EXPECT_EQ(readLevels(app.img, mem), ref);
+}
+
+TEST_P(IntegrationBfs, CoorBfsMatchesSequential)
+{
+    setQuietLogging(true);
+    CsrGraph g = makeGraph();
+    auto ref = bfsSequential(g, 0);
+
+    MemorySystem mem;
+    auto app = buildCoorBfs(g, 0, mem);
+    Accelerator accel(app.spec, smallConfig(), mem);
+    RunResult rr = accel.run();
+    EXPECT_GT(rr.cycles, 0u);
+    EXPECT_EQ(readLevels(app.img, mem), ref);
+}
+
+TEST_P(IntegrationBfs, SpecSsspMatchesDijkstra)
+{
+    setQuietLogging(true);
+    CsrGraph g = makeGraph();
+    auto ref = ssspSequential(g, 0);
+
+    MemorySystem mem;
+    auto app = buildSpecSssp(g, 0, mem);
+    Accelerator accel(app.spec, smallConfig(), mem);
+    RunResult rr = accel.run();
+    EXPECT_GT(rr.cycles, 0u);
+    EXPECT_EQ(readDistances(app.img, mem), ref);
+}
+
+TEST_P(IntegrationBfs, SpecMstMatchesKruskal)
+{
+    setQuietLogging(true);
+    CsrGraph g = makeGraph();
+    MstResult ref = mstSequential(g);
+
+    MemorySystem mem;
+    auto app = buildSpecMst(g, mem);
+    Accelerator accel(app.spec, smallConfig(), mem);
+    RunResult rr = accel.run();
+    EXPECT_GT(rr.cycles, 0u);
+    EXPECT_EQ(app.state->result.totalWeight, ref.totalWeight);
+    EXPECT_EQ(app.state->result.edgesInTree, ref.edgesInTree);
+}
+
+INSTANTIATE_TEST_SUITE_P(Graphs, IntegrationBfs,
+                         ::testing::Values(0, 1, 2, 3));
+
+TEST(IntegrationDmr, RefinesAllBadTriangles)
+{
+    setQuietLogging(true);
+    RefineParams params;
+    Mesh mesh = randomDelaunayMesh(60, 3);
+
+    MemorySystem mem;
+    auto app = buildSpecDmr(std::move(mesh), params, mem);
+    Accelerator accel(app.spec, smallConfig(), mem);
+    RunResult rr = accel.run();
+    EXPECT_GT(rr.cycles, 0u);
+
+    DmrResult res =
+        summarizeMesh(app.state->mesh, params, app.state->applied);
+    EXPECT_EQ(res.remainingBad, 0u);
+    app.state->mesh.checkConsistency();
+}
+
+TEST(IntegrationLu, FactorsLikeSequential)
+{
+    setQuietLogging(true);
+    BlockSparseMatrix a = randomBlockSparse(6, 8, 0.35, 17);
+    BlockSparseMatrix ref = a;
+    LuOpCounts ref_ops = sparseLuSequential(ref);
+
+    MemorySystem mem;
+    auto app = buildCoorLu(std::move(a), mem);
+    Accelerator accel(app.spec, smallConfig(), mem);
+    RunResult rr = accel.run();
+    EXPECT_GT(rr.cycles, 0u);
+
+    EXPECT_EQ(app.state->ops.total(), ref_ops.total());
+    EXPECT_LT(app.state->a.maxDiff(ref), 1e-9);
+}
+
+} // namespace
+} // namespace apir

@@ -1,0 +1,182 @@
+/**
+ * @file
+ * Unit tests of the memory system: functional image semantics, QPI
+ * bandwidth/latency arithmetic, cache hit/miss/writeback behaviour,
+ * and MSHR back-pressure.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/memsys.hh"
+
+namespace apir {
+namespace {
+
+TEST(Image, AllocationsAreLineAlignedAndDisjoint)
+{
+    MemoryImage img;
+    uint64_t a = img.alloc(3);
+    uint64_t b = img.alloc(10);
+    EXPECT_EQ(a % kLineBytes, 0u);
+    EXPECT_EQ(b % kLineBytes, 0u);
+    EXPECT_GE(b, a + 3 * kWordBytes);
+    EXPECT_NE(a, 0u); // address 0 stays unmapped
+}
+
+TEST(Image, ReadBackWhatWasWritten)
+{
+    MemoryImage img;
+    uint64_t base = img.alloc(4);
+    img.writeWord(base + 8, 0xdeadbeefULL);
+    EXPECT_EQ(img.readWord(base + 8), 0xdeadbeefULL);
+    EXPECT_EQ(img.readWord(base), 0u); // untouched words read zero
+}
+
+TEST(Image, MapAndReadArray)
+{
+    MemoryImage img;
+    std::vector<uint32_t> host = {1, 2, 3, 4, 5};
+    uint64_t base = img.mapArray(host);
+    auto back = img.readArray<uint32_t>(base, 5);
+    EXPECT_EQ(back, host);
+}
+
+TEST(Qpi, LatencyAppliesToIdleLink)
+{
+    QpiChannel q({32.0, 40});
+    uint64_t done = q.transfer(100, 64);
+    // 2 cycles service + 40 latency, rounded up.
+    EXPECT_GE(done, 142u);
+    EXPECT_LE(done, 144u);
+    EXPECT_EQ(q.bytesMoved(), 64u);
+}
+
+TEST(Qpi, BandwidthSerializesTransfers)
+{
+    QpiChannel q({32.0, 0});
+    uint64_t d1 = q.transfer(0, 64);
+    uint64_t d2 = q.transfer(0, 64);
+    uint64_t d3 = q.transfer(0, 64);
+    EXPECT_LT(d1, d2);
+    EXPECT_LT(d2, d3);
+    // 64B at 32 B/cyc = 2 cycles each.
+    EXPECT_GE(d3, 6u);
+}
+
+TEST(Qpi, HigherBandwidthIsFaster)
+{
+    QpiChannel slow({8.0, 40}), fast({64.0, 40});
+    uint64_t ds = 0, df = 0;
+    for (int i = 0; i < 100; ++i) {
+        ds = slow.transfer(0, 64);
+        df = fast.transfer(0, 64);
+    }
+    EXPECT_GT(ds, df);
+}
+
+TEST(Cache, HitAfterMiss)
+{
+    QpiChannel q({35.0, 40});
+    Cache c({64 * 1024, 64, 14, 32}, q);
+    auto first = c.access(0, 4096, false);
+    ASSERT_TRUE(first.has_value());
+    EXPECT_GT(*first, 14u); // miss goes over QPI
+    auto second = c.access(*first, 4096 + 8, false);
+    ASSERT_TRUE(second.has_value());
+    EXPECT_EQ(*second, *first + 14); // same line: hit
+    EXPECT_EQ(c.hits(), 1u);
+    EXPECT_EQ(c.misses(), 1u);
+}
+
+TEST(Cache, ConflictEvictsAndDirtyWritesBack)
+{
+    QpiChannel q({35.0, 40});
+    CacheConfig cfg{64 * 1024, 64, 14, 32};
+    Cache c(cfg, q);
+    // Two addresses mapping to the same set (stride = cache size).
+    c.access(0, 128, true); // miss, dirty
+    c.access(1000, 128 + cfg.sizeBytes, false); // evicts dirty line
+    EXPECT_EQ(c.writebacks(), 1u);
+    // Original line misses again.
+    c.access(3000, 128, false);
+    EXPECT_EQ(c.misses(), 3u);
+}
+
+TEST(Cache, MshrBackPressure)
+{
+    QpiChannel q({1.0, 400}); // slow link: misses stay outstanding
+    Cache c({64 * 1024, 64, 14, 4}, q);
+    int accepted = 0;
+    for (int i = 0; i < 10; ++i) {
+        if (c.access(0, static_cast<uint64_t>(i) * 4096, false))
+            ++accepted;
+    }
+    EXPECT_EQ(accepted, 4);
+    EXPECT_GT(c.mshrRejects(), 0u);
+    // After the misses complete, capacity frees up.
+    auto later = c.access(1'000'000, 77 * 4096, false);
+    EXPECT_TRUE(later.has_value());
+}
+
+TEST(MemorySystem, BandwidthScaleMultipliesQpi)
+{
+    MemConfig cfg;
+    cfg.bandwidthScale = 4.0;
+    MemorySystem mem(cfg);
+    EXPECT_DOUBLE_EQ(mem.qpi().config().bytesPerCycle, 35.0 * 4.0);
+    EXPECT_NEAR(mem.effectiveBandwidthGBs(), 28.0, 0.01);
+}
+
+TEST(MemorySystem, CountsReadsAndWrites)
+{
+    MemorySystem mem;
+    mem.request(0, 64, false);
+    mem.request(0, 128, true);
+    mem.request(0, 192, false);
+    EXPECT_EQ(mem.reads(), 2u);
+    EXPECT_EQ(mem.writes(), 1u);
+    StatGroup g("mem");
+    mem.report(g);
+    EXPECT_TRUE(g.has("cache_misses"));
+}
+
+
+TEST(Cache, NextLinePrefetchHitsSequentialStreams)
+{
+    QpiChannel q({35.0, 40});
+    CacheConfig cfg{64 * 1024, 64, 14, 32, true};
+    Cache c(cfg, q);
+    c.access(0, 0, false);       // miss; prefetches line 1
+    EXPECT_EQ(c.prefetches(), 1u);
+    auto hit = c.access(500, 64, false); // line 1: prefetched
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_EQ(*hit, 500u + cfg.hitLatency);
+    EXPECT_EQ(c.hits(), 1u);
+    EXPECT_EQ(c.misses(), 1u);
+}
+
+TEST(Cache, PrefetchSkipsResidentLines)
+{
+    QpiChannel q({35.0, 40});
+    CacheConfig cfg{64 * 1024, 64, 14, 32, true};
+    Cache c(cfg, q);
+    c.access(0, 64, false);  // line 1 resident (prefetches line 2)
+    c.access(1000, 0, false); // miss line 0; line 1 already resident
+    EXPECT_EQ(c.prefetches(), 1u);
+}
+
+TEST(Cache, PrefetchConsumesLinkBandwidth)
+{
+    QpiChannel with_q({35.0, 0});
+    Cache with(CacheConfig{64 * 1024, 64, 14, 32, true}, with_q);
+    QpiChannel without_q({35.0, 0});
+    Cache without(CacheConfig{64 * 1024, 64, 14, 32, false}, without_q);
+    for (int i = 0; i < 10; ++i) {
+        with.access(0, static_cast<uint64_t>(i) * 8192, false);
+        without.access(0, static_cast<uint64_t>(i) * 8192, false);
+    }
+    EXPECT_GT(with_q.bytesMoved(), without_q.bytesMoved());
+}
+
+} // namespace
+} // namespace apir

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Unit tests of the resource model: monotonicity in template
+ * parameters, the device-fitting heuristic, and the Section 6.2
+ * structural claim (rule engines take a small share of registers,
+ * BRAM dominated by queues/cache).
+ */
+
+#include <gtest/gtest.h>
+
+#include "apps/bfs.hh"
+#include "graph/generators.hh"
+#include "resource/resource.hh"
+#include "support/logging.hh"
+
+namespace apir {
+namespace {
+
+BfsAccel
+sampleDesign(MemorySystem &mem)
+{
+    CsrGraph g = uniformGraph(64, 4, 20, 3);
+    return buildSpecBfs(g, 0, mem);
+}
+
+TEST(Resource, MorePipelinesCostMore)
+{
+    setQuietLogging(true);
+    MemorySystem mem;
+    auto app = sampleDesign(mem);
+    AccelConfig cfg;
+    cfg.pipelinesPerSet = 1;
+    auto r1 = estimateResources(app.spec, cfg);
+    cfg.pipelinesPerSet = 4;
+    auto r4 = estimateResources(app.spec, cfg);
+    EXPECT_GT(r4.pipelines.registers, r1.pipelines.registers);
+    EXPECT_GT(r4.total().alms, r1.total().alms);
+}
+
+TEST(Resource, MoreLanesGrowRuleEngine)
+{
+    setQuietLogging(true);
+    MemorySystem mem;
+    auto app = sampleDesign(mem);
+    AccelConfig cfg;
+    cfg.ruleLanes = 8;
+    auto r8 = estimateResources(app.spec, cfg);
+    cfg.ruleLanes = 64;
+    auto r64 = estimateResources(app.spec, cfg);
+    EXPECT_GT(r64.ruleEngines.registers, r8.ruleEngines.registers);
+}
+
+TEST(Resource, RuleEngineShareIsSmall)
+{
+    setQuietLogging(true);
+    MemorySystem mem;
+    auto app = sampleDesign(mem);
+    AccelConfig cfg;
+    cfg.pipelinesPerSet = 4;
+    auto rep = estimateResources(app.spec, cfg);
+    double share = rep.ruleEngineRegisterShare();
+    // Section 6.2: 4.8-10% depending on the application; allow a
+    // wider sanity band here (the bench reports exact numbers).
+    EXPECT_GT(share, 0.01);
+    EXPECT_LT(share, 0.25);
+}
+
+TEST(Resource, BramDominatedByQueuesAndCache)
+{
+    setQuietLogging(true);
+    MemorySystem mem;
+    auto app = sampleDesign(mem);
+    AccelConfig cfg;
+    auto rep = estimateResources(app.spec, cfg);
+    EXPECT_EQ(rep.pipelines.bramBits, 0u);
+    EXPECT_GT(rep.taskQueues.bramBits, 0u);
+    EXPECT_GT(rep.memSystem.bramBits, 0u);
+    EXPECT_EQ(rep.ruleEngines.bramBits, 0u); // "BRAMs negligible"
+}
+
+TEST(Resource, FitHeuristicFindsFeasibleMaximum)
+{
+    setQuietLogging(true);
+    MemorySystem mem;
+    auto app = sampleDesign(mem);
+    AccelConfig cfg;
+    DeviceLimits dev;
+    uint32_t p = fitPipelinesToDevice(app.spec, cfg, dev);
+    EXPECT_GE(p, 1u);
+    cfg.pipelinesPerSet = p;
+    EXPECT_LE(estimateResources(app.spec, cfg).total().registers,
+              dev.registers);
+    cfg.pipelinesPerSet = p + 1;
+    auto over = estimateResources(app.spec, cfg).total();
+    bool over_budget = over.registers > dev.registers ||
+                       over.alms > dev.alms ||
+                       over.bramBits > dev.bramBits;
+    EXPECT_TRUE(over_budget || p == 64);
+}
+
+TEST(Resource, ReportAddsUp)
+{
+    setQuietLogging(true);
+    MemorySystem mem;
+    auto app = sampleDesign(mem);
+    AccelConfig cfg;
+    auto rep = estimateResources(app.spec, cfg);
+    Resources t = rep.total();
+    EXPECT_EQ(t.registers,
+              rep.pipelines.registers + rep.taskQueues.registers +
+                  rep.ruleEngines.registers + rep.memSystem.registers);
+    EXPECT_GT(rep.deviceRegisterFill(), 0.0);
+}
+
+} // namespace
+} // namespace apir

@@ -1,0 +1,185 @@
+/**
+ * @file
+ * Unit tests of the support module: RNG determinism and distribution,
+ * statistics containers, string/table helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "support/random.hh"
+#include "support/stats.hh"
+#include "support/str.hh"
+
+namespace apir {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        if (a.next() == b.next())
+            ++same;
+    EXPECT_LT(same, 3);
+}
+
+TEST(Rng, BelowStaysInRange)
+{
+    Rng r(7);
+    for (int i = 0; i < 10000; ++i)
+        EXPECT_LT(r.below(17), 17u);
+}
+
+TEST(Rng, RangeIsInclusive)
+{
+    Rng r(9);
+    std::set<int64_t> seen;
+    for (int i = 0; i < 5000; ++i) {
+        int64_t v = r.range(-3, 3);
+        EXPECT_GE(v, -3);
+        EXPECT_LE(v, 3);
+        seen.insert(v);
+    }
+    EXPECT_EQ(seen.size(), 7u); // all 7 values hit
+}
+
+TEST(Rng, RealInUnitInterval)
+{
+    Rng r(11);
+    double sum = 0.0;
+    for (int i = 0; i < 10000; ++i) {
+        double v = r.real();
+        ASSERT_GE(v, 0.0);
+        ASSERT_LT(v, 1.0);
+        sum += v;
+    }
+    EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, ChanceMatchesProbability)
+{
+    Rng r(13);
+    int hits = 0;
+    for (int i = 0; i < 20000; ++i)
+        hits += r.chance(0.25);
+    EXPECT_NEAR(hits / 20000.0, 0.25, 0.02);
+}
+
+TEST(Rng, ReseedRestoresSequence)
+{
+    Rng r(99);
+    std::vector<uint64_t> first;
+    for (int i = 0; i < 10; ++i)
+        first.push_back(r.next());
+    r.reseed(99);
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(r.next(), first[i]);
+}
+
+TEST(Counter, AccumulatesAndResets)
+{
+    Counter c;
+    ++c;
+    c += 5;
+    c++;
+    EXPECT_EQ(c.value(), 7u);
+    c.reset();
+    EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Average, TracksMeanMinMax)
+{
+    Average a;
+    a.sample(2.0);
+    a.sample(4.0);
+    a.sample(9.0);
+    EXPECT_DOUBLE_EQ(a.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(a.min(), 2.0);
+    EXPECT_DOUBLE_EQ(a.max(), 9.0);
+    EXPECT_EQ(a.count(), 3u);
+}
+
+TEST(Average, EmptyIsZero)
+{
+    Average a;
+    EXPECT_DOUBLE_EQ(a.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(a.min(), 0.0);
+    EXPECT_DOUBLE_EQ(a.max(), 0.0);
+}
+
+TEST(Histogram, BucketsAndClamps)
+{
+    Histogram h(4, 10.0);
+    h.sample(5.0);   // bucket 0
+    h.sample(15.0);  // bucket 1
+    h.sample(100.0); // clamped to last bucket
+    h.sample(-1.0);  // clamped to bucket 0
+    EXPECT_EQ(h.bucket(0), 2u);
+    EXPECT_EQ(h.bucket(1), 1u);
+    EXPECT_EQ(h.bucket(3), 1u);
+    EXPECT_EQ(h.total(), 4u);
+}
+
+TEST(StatGroup, SetAddGetDump)
+{
+    StatGroup g("grp");
+    g.set("a", 1.5);
+    g.add("a", 0.5);
+    EXPECT_DOUBLE_EQ(g.get("a"), 2.0);
+    EXPECT_DOUBLE_EQ(g.get("missing"), 0.0);
+    EXPECT_TRUE(g.has("a"));
+    EXPECT_FALSE(g.has("missing"));
+    std::ostringstream os;
+    g.dump(os);
+    EXPECT_NE(os.str().find("grp.a"), std::string::npos);
+}
+
+TEST(Str, Strprintf)
+{
+    EXPECT_EQ(strprintf("%d-%s", 7, "x"), "7-x");
+    EXPECT_EQ(strprintf("%.2f", 1.234), "1.23");
+}
+
+TEST(Str, HumanRate)
+{
+    EXPECT_EQ(humanRate(500), "500.00 B/s");
+    EXPECT_EQ(humanRate(7e9), "7.00 GB/s");
+}
+
+TEST(Str, HumanCount)
+{
+    EXPECT_EQ(humanCount(12), "12");
+    EXPECT_EQ(humanCount(12300), "12.30 K");
+}
+
+TEST(Str, JoinAndSplit)
+{
+    EXPECT_EQ(join({"a", "b", "c"}, ","), "a,b,c");
+    EXPECT_EQ(join({}, ","), "");
+    auto parts = split("a,,c", ',');
+    ASSERT_EQ(parts.size(), 3u);
+    EXPECT_EQ(parts[1], "");
+}
+
+TEST(TextTable, RendersAlignedRows)
+{
+    TextTable t({"name", "value"});
+    t.addRow({"x", "1"});
+    t.addRow({"longer", "22"});
+    std::string s = t.render();
+    EXPECT_NE(s.find("name"), std::string::npos);
+    EXPECT_NE(s.find("longer"), std::string::npos);
+    EXPECT_NE(s.find("----"), std::string::npos);
+}
+
+} // namespace
+} // namespace apir
