@@ -24,6 +24,7 @@ main(int argc, char **argv)
                 "units ===\n\n");
     TextTable table({"benchmark", "ooo(s)", "in-order(s)", "ooo speedup",
                      "ooo util", "in-order util"});
+    JsonValue runs = JsonValue::array();
     for (Bench b : kAllBenches) {
         AccelConfig ooo = defaultAccelConfig();
         ooo.lsuInOrder = false;
@@ -38,10 +39,19 @@ main(int argc, char **argv)
                       strprintf("%.2fx", r_ino.seconds / r_ooo.seconds),
                       strprintf("%.3f", r_ooo.rr.utilization),
                       strprintf("%.3f", r_ino.rr.utilization)});
+        for (const auto &[run, in_order] :
+             {std::pair<const AccelRun *, bool>{&r_ooo, false},
+              std::pair<const AccelRun *, bool>{&r_ino, true}}) {
+            JsonValue j = runToJson(*run);
+            j.set("benchmark", JsonValue::str(benchName(b)));
+            j.set("lsu_in_order", JsonValue::boolean(in_order));
+            runs.push(std::move(j));
+        }
     }
     std::printf("%s\n", table.render().c_str());
     std::printf("expectation: OoO completion bypasses cache-missing "
                 "tasks, so the\nmemory-bound benchmarks gain the "
                 "most.\n");
+    maybeWriteStatsJson(opt, "ablation_lsu", runs);
     return 0;
 }

@@ -22,6 +22,7 @@ main(int argc, char **argv)
     const uint32_t pipes[] = {1, 2, 4, 8};
 
     std::printf("=== Ablation D: pipeline replicas per task set ===\n\n");
+    JsonValue runs = JsonValue::array();
     for (Bench b : kAllBenches) {
         TextTable table({"pipes/set", "sim(s)", "speedup vs 1",
                          "utilization"});
@@ -32,6 +33,11 @@ main(int argc, char **argv)
             AccelRun run = runAccelerator(b, w, cfg, false);
             if (np == 1)
                 base = run.seconds;
+            JsonValue j = runToJson(run);
+            j.set("benchmark", JsonValue::str(benchName(b)));
+            j.set("pipelines_per_set",
+                  JsonValue::number(static_cast<double>(np)));
+            runs.push(std::move(j));
             table.addRow({strprintf("%u", np),
                           strprintf("%.4f", run.seconds),
                           strprintf("%.2fx", base / run.seconds),
@@ -42,5 +48,6 @@ main(int argc, char **argv)
     }
     std::printf("expectation: gains flatten once the 7 GB/s QPI memory "
                 "system saturates\n(the paper's bottleneck claim).\n");
+    maybeWriteStatsJson(opt, "ablation_pipelines", runs);
     return 0;
 }

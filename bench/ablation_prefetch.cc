@@ -28,6 +28,7 @@ main(int argc, char **argv)
                 "device cache ===\n\n");
     TextTable table({"benchmark", "base(s)", "prefetch(s)", "speedup",
                      "prefetches", "base hit%", "pf hit%"});
+    JsonValue runs = JsonValue::array();
     for (Bench b : kAllBenches) {
         AccelConfig base_cfg = defaultAccelConfig();
         AccelRun base = runAccelerator(b, w, base_cfg, false);
@@ -57,10 +58,19 @@ main(int argc, char **argv)
                       strprintf("%.0f", pf_count),
                       strprintf("%.1f%%", hit_rate(base)),
                       strprintf("%.1f%%", hit_rate(pf))});
+        for (const auto &[run, on] :
+             {std::pair<const AccelRun *, bool>{&base, false},
+              std::pair<const AccelRun *, bool>{&pf, true}}) {
+            JsonValue j = runToJson(*run);
+            j.set("benchmark", JsonValue::str(benchName(b)));
+            j.set("prefetch", JsonValue::boolean(on));
+            runs.push(std::move(j));
+        }
     }
     std::printf("%s\n", table.render().c_str());
     std::printf("expectation: streaming-heavy designs (adjacency scans, "
                 "LU blocks) gain;\nrandom-access-dominated ones can "
                 "lose bandwidth to useless prefetches.\n");
+    maybeWriteStatsJson(opt, "ablation_prefetch", runs);
     return 0;
 }

@@ -22,6 +22,7 @@ main(int argc, char **argv)
 
     std::printf("=== Ablation B: task-queue banks (wavefront allocator "
                 "fan-out) ===\n\n");
+    JsonValue runs = JsonValue::array();
     for (Bench b : {Bench::SpecBfs, Bench::SpecSssp, Bench::SpecDmr}) {
         TextTable table({"banks", "sim(s)", "speedup vs 1 bank",
                          "utilization"});
@@ -32,6 +33,11 @@ main(int argc, char **argv)
             AccelRun run = runAccelerator(b, w, cfg, false);
             if (nb == 1)
                 base = run.seconds;
+            JsonValue j = runToJson(run);
+            j.set("benchmark", JsonValue::str(benchName(b)));
+            j.set("queue_banks",
+                  JsonValue::number(static_cast<double>(nb)));
+            runs.push(std::move(j));
             table.addRow({strprintf("%u", nb),
                           strprintf("%.4f", run.seconds),
                           strprintf("%.2fx", base / run.seconds),
@@ -40,5 +46,6 @@ main(int argc, char **argv)
         std::printf("--- %s ---\n%s\n", benchName(b),
                     table.render().c_str());
     }
+    maybeWriteStatsJson(opt, "ablation_queues", runs);
     return 0;
 }

@@ -25,6 +25,7 @@ main(int argc, char **argv)
 
     std::printf("=== Ablation C: rule-engine lanes (speculation depth) "
                 "===\n\n");
+    JsonValue runs = JsonValue::array();
     for (Bench b : {Bench::SpecBfs, Bench::SpecMst, Bench::CoorLu}) {
         TextTable table({"lanes", "sim(s)", "speedup vs 2",
                          "alloc-fails", "squashed"});
@@ -40,6 +41,11 @@ main(int argc, char **argv)
             for (const StatGroup &g : run.rr.groups)
                 if (g.name().rfind("rule.", 0) == 0)
                     alloc_fails += g.get("alloc_fails");
+            JsonValue j = runToJson(run);
+            j.set("benchmark", JsonValue::str(benchName(b)));
+            j.set("rule_lanes",
+                  JsonValue::number(static_cast<double>(nl)));
+            runs.push(std::move(j));
             table.addRow({strprintf("%u", nl),
                           strprintf("%.4f", run.seconds),
                           strprintf("%.2fx", base / run.seconds),
@@ -51,5 +57,6 @@ main(int argc, char **argv)
         std::printf("--- %s ---\n%s\n", benchName(b),
                     table.render().c_str());
     }
+    maybeWriteStatsJson(opt, "ablation_rules", runs);
     return 0;
 }

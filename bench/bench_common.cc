@@ -3,6 +3,7 @@
 #include <cmath>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 
 #include "support/logging.hh"
 
@@ -18,9 +19,55 @@ parseOptions(int argc, char **argv)
             opt.scale = std::atof(argv[++i]);
             if (opt.scale <= 0.0)
                 fatal("--scale must be positive");
+        } else if (std::strcmp(argv[i], "--stats-json") == 0 &&
+                   i + 1 < argc) {
+            opt.statsJson = argv[++i];
         }
     }
     return opt;
+}
+
+JsonValue
+runToJson(const AccelRun &run)
+{
+    JsonValue j = JsonValue::object();
+    j.set("cycles", JsonValue::number(
+                        static_cast<double>(run.rr.cycles)));
+    j.set("seconds", JsonValue::number(run.seconds));
+    j.set("utilization", JsonValue::number(run.rr.utilization));
+    j.set("tasks_executed",
+          JsonValue::number(static_cast<double>(run.rr.tasksExecuted)));
+    j.set("tasks_activated",
+          JsonValue::number(static_cast<double>(run.rr.tasksActivated)));
+    j.set("squashed",
+          JsonValue::number(static_cast<double>(run.rr.squashed)));
+
+    JsonValue stats = JsonValue::object();
+    for (const StatGroup &g : run.rr.groups) {
+        JsonValue comp = JsonValue::object();
+        for (const auto &[key, val] : g.values())
+            comp.set(key, JsonValue::number(val));
+        stats.set(g.name(), std::move(comp));
+    }
+    j.set("stats", std::move(stats));
+    return j;
+}
+
+void
+maybeWriteStatsJson(const Options &opt, const std::string &bench,
+                    const JsonValue &runs)
+{
+    if (opt.statsJson.empty())
+        return;
+    JsonValue doc = JsonValue::object();
+    doc.set("bench", JsonValue::str(bench));
+    doc.set("scale", JsonValue::number(opt.scale));
+    doc.set("runs", runs);
+    std::ofstream os(opt.statsJson);
+    if (!os)
+        fatal("cannot open ", opt.statsJson, " for writing");
+    doc.write(os, 0);
+    os << "\n";
 }
 
 double

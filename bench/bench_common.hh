@@ -20,6 +20,7 @@
 #include "cpumodel/xeon_model.hh"
 #include "graph/generators.hh"
 #include "hw/accelerator.hh"
+#include "support/json.hh"
 #include "support/str.hh"
 
 namespace apir {
@@ -28,7 +29,8 @@ namespace bench {
 /** Command-line options common to all benches. */
 struct Options
 {
-    double scale = 1.0; //!< workload size multiplier
+    double scale = 1.0;    //!< workload size multiplier
+    std::string statsJson; //!< --stats-json: structured-results path
 };
 
 Options parseOptions(int argc, char **argv);
@@ -86,6 +88,22 @@ inline constexpr Bench kAllBenches[] = {
     Bench::SpecBfs, Bench::CoorBfs,  Bench::SpecSssp,
     Bench::SpecMst, Bench::SpecDmr,  Bench::CoorLu,
 };
+
+/**
+ * JSON for one accelerator run: summary scalars plus every
+ * per-component statistic group (cache/QPI, queues, rule engines,
+ * stage-kind breakdown) under "stats". Benches append identifying
+ * labels (benchmark name, knob values) to the returned object.
+ */
+JsonValue runToJson(const AccelRun &run);
+
+/**
+ * Write the standard stats document
+ * {"bench": ..., "scale": ..., "runs": [...]} to opt.statsJson.
+ * No-op when --stats-json was not given.
+ */
+void maybeWriteStatsJson(const Options &opt, const std::string &bench,
+                         const JsonValue &runs);
 
 } // namespace bench
 } // namespace apir

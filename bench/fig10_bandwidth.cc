@@ -31,6 +31,7 @@ main(int argc, char **argv)
     std::printf("=== Figure 10: speedup (over x1 QPI) and pipeline "
                 "utilization vs QPI bandwidth ===\n\n");
 
+    JsonValue runs = JsonValue::array();
     for (Bench b : kAllBenches) {
         TextTable table({"qpi-bw", "GB/s", "sim(s)", "speedup",
                          "utilization", "squashed"});
@@ -41,6 +42,12 @@ main(int argc, char **argv)
             AccelRun run = runAccelerator(b, w, cfg, false);
             if (s == 1.0)
                 base_seconds = run.seconds;
+            JsonValue j = runToJson(run);
+            j.set("benchmark", JsonValue::str(benchName(b)));
+            j.set("qpi_scale", JsonValue::number(s));
+            j.set("speedup", JsonValue::number(base_seconds /
+                                               run.seconds));
+            runs.push(std::move(j));
             table.addRow(
                 {strprintf("x%.0f", s), strprintf("%.1f", 7.0 * s),
                  strprintf("%.4f", run.seconds),
@@ -58,5 +65,6 @@ main(int argc, char **argv)
                 "SPEC-BFS utilization\n"
                 "       scales while speedup saturates/degrades "
                 "(speculative flooding).\n");
+    maybeWriteStatsJson(opt, "fig10_bandwidth", runs);
     return 0;
 }

@@ -79,6 +79,7 @@ main(int argc, char **argv)
                      "util", "squash"});
 
     double min_s1 = 1e30, max_s1 = 0.0, min_s10 = 1e30, max_s10 = 0.0;
+    JsonValue runs = JsonValue::array();
     for (Bench b : kAllBenches) {
         AccelRun run = runAccelerator(b, w, defaultAccelConfig(), true);
         double t1 = xeonTime(run.work, xeon, 1);
@@ -86,6 +87,13 @@ main(int argc, char **argv)
         double native = nativeSequentialSeconds(b, w);
         double s1 = t1 / run.seconds;
         double s10 = t10 / run.seconds;
+        JsonValue j = runToJson(run);
+        j.set("benchmark", JsonValue::str(benchName(b)));
+        j.set("xeon_1c_seconds", JsonValue::number(t1));
+        j.set("xeon_10c_seconds", JsonValue::number(t10));
+        j.set("speedup_1c", JsonValue::number(s1));
+        j.set("speedup_10c", JsonValue::number(s10));
+        runs.push(std::move(j));
         min_s1 = std::min(min_s1, s1);
         max_s1 = std::max(max_s1, s1);
         min_s10 = std::min(min_s10, s10);
@@ -104,5 +112,6 @@ main(int argc, char **argv)
                 min_s1, max_s1, min_s10, max_s10);
     std::printf("paper:    2.3x-5.9x over 1 core, 0.5x-1.9x over 10 "
                 "cores\n");
+    maybeWriteStatsJson(opt, "fig9_speedup", runs);
     return 0;
 }

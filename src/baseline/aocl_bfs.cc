@@ -2,8 +2,29 @@
 
 #include "mem/image.hh"
 #include "support/logging.hh"
+#include "support/stats_registry.hh"
 
 namespace apir {
+
+void
+AoclResult::registerStats(StatRegistry &reg,
+                          const std::string &component) const
+{
+    reg.addValue(component, "iterations", [this] {
+        return static_cast<double>(iterations);
+    });
+    reg.addValue(component, "bytes_moved", [this] {
+        return static_cast<double>(bytesMoved);
+    });
+    reg.addValue(component, "seconds", [this] { return seconds; });
+    reg.addValue(component, "reached", [this] {
+        uint64_t n = 0;
+        for (uint32_t l : levels)
+            if (l != kInfDistance)
+                ++n;
+        return static_cast<double>(n);
+    });
+}
 
 AoclResult
 aoclBfs(const CsrGraph &g, VertexId root, const AoclConfig &cfg)

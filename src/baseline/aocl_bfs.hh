@@ -19,11 +19,14 @@
 #define APIR_BASELINE_AOCL_BFS_HH
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "graph/csr.hh"
 
 namespace apir {
+
+class StatRegistry;
 
 /** Cost parameters of the OpenCL execution model. */
 struct AoclConfig
@@ -47,6 +50,13 @@ struct AoclResult
     uint64_t iterations = 0; //!< host loop rounds
     uint64_t bytesMoved = 0;
     double seconds = 0.0;
+
+    /**
+     * Register this run's statistics under `component`. The result
+     * must outlive the registry (values are read lazily).
+     */
+    void registerStats(StatRegistry &reg,
+                       const std::string &component) const;
 };
 
 /** Run the two-kernel BFS model. */

@@ -3,8 +3,23 @@
 #include <algorithm>
 
 #include "support/logging.hh"
+#include "support/stats_registry.hh"
 
 namespace apir {
+
+void
+MulticoreEmulator::registerStats(StatRegistry &reg,
+                                 const std::string &component) const
+{
+    reg.addValue(component, "rounds",
+                 [this] { return static_cast<double>(rounds_); });
+    reg.addValue(component, "emulated_seconds",
+                 [this] { return parallelSeconds_; });
+    reg.addValue(component, "sequential_seconds",
+                 [this] { return serialObservedSeconds_; });
+    reg.addValue(component, "cores",
+                 [this] { return static_cast<double>(cfg_.cores); });
+}
 
 void
 MulticoreEmulator::beginRound()

@@ -19,8 +19,11 @@
 
 #include <chrono>
 #include <cstdint>
+#include <string>
 
 namespace apir {
+
+class StatRegistry;
 
 /** Emulated machine parameters (defaults model the paper's Xeon). */
 struct MulticoreConfig
@@ -60,6 +63,10 @@ class MulticoreEmulator
     double emulatedSeconds() const { return parallelSeconds_; }
     double sequentialSeconds() const { return serialObservedSeconds_; }
     uint64_t rounds() const { return rounds_; }
+
+    /** Register this emulator's statistics under `component`. */
+    void registerStats(StatRegistry &reg,
+                       const std::string &component) const;
 
   private:
     MulticoreConfig cfg_;

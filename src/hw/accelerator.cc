@@ -5,6 +5,7 @@
 
 #include "support/logging.hh"
 #include "support/str.hh"
+#include "support/trace.hh"
 
 namespace apir {
 
@@ -33,6 +34,48 @@ Accelerator::Accelerator(const AcceleratorSpec &spec,
     ctx_.lastGlobalProgress = &lastProgressCycle_;
 
     buildPipelines();
+    registerStats();
+    if (cfg_.tracer)
+        mem_.attachTracer(cfg_.tracer);
+}
+
+void
+Accelerator::registerStats()
+{
+    for (auto &q : queues_)
+        q->registerStats(registry_, "queue." + q->decl().name);
+    for (auto &e : engines_)
+        e->registerStats(registry_, "rule." + e->spec().name);
+    mem_.registerStats(registry_, "mem");
+
+    // Busy/stall/idle/token aggregates per primitive-operation kind,
+    // the raw material behind the utilization curves of Figure 10.
+    // Registered as computed values so dumps always see live counts.
+    std::vector<std::string> kinds;
+    for (auto &s : stages_) {
+        std::string kind = actorKindName(s->actor().kind);
+        if (std::find(kinds.begin(), kinds.end(), kind) == kinds.end())
+            kinds.push_back(kind);
+    }
+    auto agg = [this](std::string kind, uint64_t StageStats::*field) {
+        return [this, kind = std::move(kind), field] {
+            uint64_t n = 0;
+            for (const auto &s : stages_)
+                if (kind == actorKindName(s->actor().kind))
+                    n += s->stats().*field;
+            return static_cast<double>(n);
+        };
+    };
+    for (const std::string &kind : kinds) {
+        registry_.addValue("stages", kind + ".busy",
+                           agg(kind, &StageStats::busy));
+        registry_.addValue("stages", kind + ".stall",
+                           agg(kind, &StageStats::stall));
+        registry_.addValue("stages", kind + ".idle",
+                           agg(kind, &StageStats::idle));
+        registry_.addValue("stages", kind + ".tokens",
+                           agg(kind, &StageStats::tokens));
+    }
 }
 
 void
@@ -116,8 +159,20 @@ Accelerator::run()
     lastProgressCycle_ = 0;
     uint64_t cycle = 0;
 
+    // Precomputed tracer track names (no per-cycle allocation).
+    std::vector<std::string> queue_tracks;
+    if (cfg_.tracer)
+        for (auto &q : queues_)
+            queue_tracks.push_back("queue." + q->decl().name);
+
     for (;; ++cycle) {
         hostTick(cycle);
+        if (cfg_.tracer && cfg_.tracer->active(cycle)) {
+            for (size_t i = 0; i < queues_.size(); ++i)
+                cfg_.tracer->counterEvent(
+                    queue_tracks[i], "depth", cycle,
+                    static_cast<double>(queues_[i]->occupancy()));
+        }
         bool any_busy = false;
         for (auto &stage : stages_) {
             stage->tick(cycle);
@@ -149,20 +204,9 @@ Accelerator::run()
     for (auto &q : queues_) {
         res.tasksExecuted += q->pops();
         res.tasksActivated += q->pushes();
-        StatGroup g("queue." + q->decl().name);
-        q->report(g);
-        res.groups.push_back(std::move(g));
     }
-    for (auto &e : engines_) {
-        StatGroup g("rule." + e->spec().name);
-        e->report(g);
-        res.groups.push_back(std::move(g));
-    }
-    {
-        StatGroup g("mem");
-        mem_.report(g);
-        res.groups.push_back(std::move(g));
-    }
+    // All per-component statistics come from the unified registry.
+    res.groups = registry_.snapshot();
     for (auto &s : stages_) {
         if (auto *r = dynamic_cast<RendezvousStage *>(s.get()))
             res.fallbackFires += r->fallbackFires();
@@ -178,27 +222,6 @@ Accelerator::run()
         if (s->actor().kind == ActorKind::Sink &&
             s->actor().name.find("squash") != std::string::npos)
             res.squashed += s->stats().tokens;
-    }
-
-    // Busy/stall/idle breakdown per primitive-operation kind, the
-    // raw material behind the utilization curves of Figure 10.
-    {
-        std::map<std::string, StageStats> by_kind;
-        for (auto &s : stages_) {
-            StageStats &agg = by_kind[actorKindName(s->actor().kind)];
-            agg.busy += s->stats().busy;
-            agg.stall += s->stats().stall;
-            agg.idle += s->stats().idle;
-            agg.tokens += s->stats().tokens;
-        }
-        StatGroup g("stages");
-        for (const auto &[kind, st] : by_kind) {
-            g.set(kind + ".busy", static_cast<double>(st.busy));
-            g.set(kind + ".stall", static_cast<double>(st.stall));
-            g.set(kind + ".idle", static_cast<double>(st.idle));
-            g.set(kind + ".tokens", static_cast<double>(st.tokens));
-        }
-        res.groups.push_back(std::move(g));
     }
 
     StatGroup sum("accel");

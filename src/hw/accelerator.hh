@@ -19,6 +19,7 @@
 #include "hw/config.hh"
 #include "hw/rendezvous_group.hh"
 #include "hw/stage.hh"
+#include "support/stats_registry.hh"
 
 namespace apir {
 
@@ -54,8 +55,16 @@ class Accelerator
     /** Total stages instantiated (all replicas). */
     size_t numStages() const { return stages_.size(); }
 
+    /**
+     * The live statistics registry every component (queues, rule
+     * engines, memory system, stage-kind aggregates) registers into
+     * at construction. RunResult::groups is a snapshot of it.
+     */
+    const StatRegistry &stats() const { return registry_; }
+
   private:
     void buildPipelines();
+    void registerStats();
     void hostTick(uint64_t cycle);
     bool done() const;
 
@@ -73,6 +82,7 @@ class Accelerator
     HwContext ctx_;
     size_t hostPos_ = 0;
     uint64_t lastProgressCycle_ = 0;
+    StatRegistry registry_;
 };
 
 } // namespace apir

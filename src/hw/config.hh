@@ -15,6 +15,8 @@
 
 namespace apir {
 
+class ChromeTracer;
+
 /** Accelerator-wide template parameters. */
 struct AccelConfig
 {
@@ -63,6 +65,14 @@ struct AccelConfig
     std::ostream *trace = nullptr;
     uint64_t traceFrom = 0;
     uint64_t traceTo = ~0ull;
+
+    /**
+     * Structured tracer: when non-null, stage firings, per-queue
+     * depth series, and QPI busy intervals inside the tracer's own
+     * cycle window are emitted as Chrome trace_event JSON (open in
+     * chrome://tracing or Perfetto). Not owned.
+     */
+    ChromeTracer *tracer = nullptr;
 
     MemConfig mem;
 };

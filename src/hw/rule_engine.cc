@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "support/logging.hh"
+#include "support/stats_registry.hh"
 
 namespace apir {
 
@@ -99,16 +100,20 @@ RuleEngine::release(uint32_t lane)
 }
 
 void
-RuleEngine::report(StatGroup &g) const
+RuleEngine::registerStats(StatRegistry &reg,
+                          const std::string &component) const
 {
-    g.set("lanes", static_cast<double>(lanes_.size()));
-    g.set("allocs", static_cast<double>(allocs_));
-    g.set("alloc_fails", static_cast<double>(allocFails_));
-    g.set("events", static_cast<double>(events_));
-    g.set("clause_fires", static_cast<double>(clauseFires_));
-    g.set("otherwise_fires", static_cast<double>(otherwiseFires_));
-    g.set("fallback_fires", static_cast<double>(fallbackFires_));
-    g.set("max_lanes_in_use", static_cast<double>(maxInUse_));
+    reg.addValue(component, "lanes",
+                 [this] { return static_cast<double>(lanes_.size()); });
+    reg.addCounter(component, "allocs", allocs_);
+    reg.addCounter(component, "alloc_fails", allocFails_);
+    reg.addCounter(component, "events", events_);
+    reg.addCounter(component, "clause_fires", clauseFires_);
+    reg.addCounter(component, "otherwise_fires", otherwiseFires_);
+    reg.addCounter(component, "fallback_fires", fallbackFires_);
+    reg.addValue(component, "max_lanes_in_use", [this] {
+        return static_cast<double>(maxInUse_);
+    });
 }
 
 } // namespace apir

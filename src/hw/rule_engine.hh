@@ -11,6 +11,7 @@
 #define APIR_HW_RULE_ENGINE_HH
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "bdfg/token.hh"
@@ -18,6 +19,8 @@
 #include "support/stats.hh"
 
 namespace apir {
+
+class StatRegistry;
 
 /** Hardware model of one rule type's engine. */
 class RuleEngine
@@ -55,16 +58,18 @@ class RuleEngine
     void release(uint32_t lane);
 
     // Statistics.
-    uint64_t allocs() const { return allocs_; }
-    uint64_t allocFails() const { return allocFails_; }
-    uint64_t eventsSeen() const { return events_; }
-    uint64_t clauseFires() const { return clauseFires_; }
-    uint64_t otherwiseFires() const { return otherwiseFires_; }
-    uint64_t fallbackFires() const { return fallbackFires_; }
+    uint64_t allocs() const { return allocs_.value(); }
+    uint64_t allocFails() const { return allocFails_.value(); }
+    uint64_t eventsSeen() const { return events_.value(); }
+    uint64_t clauseFires() const { return clauseFires_.value(); }
+    uint64_t otherwiseFires() const { return otherwiseFires_.value(); }
+    uint64_t fallbackFires() const { return fallbackFires_.value(); }
     uint32_t lanesInUse() const { return inUse_; }
     uint32_t maxLanesInUse() const { return maxInUse_; }
 
-    void report(StatGroup &g) const;
+    /** Register this engine's statistics under `component`. */
+    void registerStats(StatRegistry &reg,
+                       const std::string &component) const;
 
   private:
     struct Lane
@@ -80,12 +85,12 @@ class RuleEngine
     uint32_t nextLane_ = 0; //!< rotating allocator pointer
     uint32_t inUse_ = 0;
     uint32_t maxInUse_ = 0;
-    uint64_t allocs_ = 0;
-    uint64_t allocFails_ = 0;
-    uint64_t events_ = 0;
-    uint64_t clauseFires_ = 0;
-    uint64_t otherwiseFires_ = 0;
-    uint64_t fallbackFires_ = 0;
+    Counter allocs_;
+    Counter allocFails_;
+    Counter events_;
+    Counter clauseFires_;
+    Counter otherwiseFires_;
+    Counter fallbackFires_;
 };
 
 } // namespace apir

@@ -4,6 +4,7 @@
 
 #include "hw/rendezvous_group.hh"
 #include "support/logging.hh"
+#include "support/trace.hh"
 
 namespace apir {
 
@@ -31,6 +32,11 @@ Stage::tick(uint64_t cycle)
                          << (traceLabel_.empty() ? actor_.name
                                                  : traceLabel_)
                          << "\n";
+    }
+    if (fired_ && ctx_.cfg->tracer) {
+        ctx_.cfg->tracer->completeEvent(
+            traceLabel_.empty() ? actor_.name : traceLabel_,
+            actorKindName(actor_.kind), cycle, 1);
     }
 }
 

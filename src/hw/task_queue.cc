@@ -3,13 +3,16 @@
 #include <algorithm>
 
 #include "support/logging.hh"
+#include "support/stats_registry.hh"
 
 namespace apir {
 
 TaskQueueUnit::TaskQueueUnit(const TaskSetDecl &decl, TaskSetId id,
                              uint32_t banks, uint32_t bank_capacity,
                              LiveKeyTracker &tracker)
-    : decl_(decl), id_(id), tracker_(tracker)
+    : decl_(decl), id_(id), tracker_(tracker),
+      occHist_(32, std::max(1.0, static_cast<double>(banks) *
+                                     bank_capacity / 32.0))
 {
     APIR_ASSERT(banks >= 1, "task queue needs at least one bank");
     banks_.reserve(banks);
@@ -58,6 +61,7 @@ TaskQueueUnit::push(uint64_t cycle, TaskSetId set_check,
     }
     ++pushes_;
     maxOccupancy_ = std::max<uint64_t>(maxOccupancy_, occupancy());
+    occHist_.sample(static_cast<double>(occupancy()));
 }
 
 std::optional<SwTask>
@@ -113,12 +117,17 @@ TaskQueueUnit::occupancy() const
 }
 
 void
-TaskQueueUnit::report(StatGroup &g) const
+TaskQueueUnit::registerStats(StatRegistry &reg,
+                             const std::string &component) const
 {
-    g.set("banks", static_cast<double>(banks_.size()));
-    g.set("pushes", static_cast<double>(pushes_));
-    g.set("pops", static_cast<double>(pops_));
-    g.set("max_occupancy", static_cast<double>(maxOccupancy_));
+    reg.addValue(component, "banks",
+                 [this] { return static_cast<double>(banks_.size()); });
+    reg.addCounter(component, "pushes", pushes_);
+    reg.addCounter(component, "pops", pops_);
+    reg.addValue(component, "max_occupancy", [this] {
+        return static_cast<double>(maxOccupancy_);
+    });
+    reg.addHistogram(component, "occupancy", occHist_);
 }
 
 } // namespace apir

@@ -23,6 +23,8 @@
 
 namespace apir {
 
+class StatRegistry;
+
 /** Banked hardware task queue for one task set. */
 class TaskQueueUnit
 {
@@ -52,12 +54,17 @@ class TaskQueueUnit
      */
     std::optional<SwTask> pop(uint64_t cycle, uint32_t source_id);
 
-    uint64_t pushes() const { return pushes_; }
-    uint64_t pops() const { return pops_; }
+    uint64_t pushes() const { return pushes_.value(); }
+    uint64_t pops() const { return pops_.value(); }
     size_t occupancy() const;
     uint64_t maxOccupancy() const { return maxOccupancy_; }
 
-    void report(StatGroup &g) const;
+    /** Queue-depth distribution, sampled at every push. */
+    const Histogram &occupancyHistogram() const { return occHist_; }
+
+    /** Register this queue's statistics under `component`. */
+    void registerStats(StatRegistry &reg,
+                       const std::string &component) const;
 
   private:
     TaskSetDecl decl_;
@@ -71,9 +78,10 @@ class TaskQueueUnit
     LiveKeyTracker &tracker_;
     uint32_t counter_ = 0; //!< for-each activation counter
     std::vector<uint64_t> bankLastPop_;
-    uint64_t pushes_ = 0;
-    uint64_t pops_ = 0;
+    Counter pushes_;
+    Counter pops_;
     uint64_t maxOccupancy_ = 0;
+    Histogram occHist_;
 };
 
 } // namespace apir

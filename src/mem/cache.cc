@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "support/logging.hh"
+#include "support/stats_registry.hh"
 
 namespace apir {
 
@@ -30,10 +31,20 @@ Cache::access(uint64_t cycle, uint64_t addr, bool is_write)
     Line &line = lines_[set];
 
     if (line.valid && line.tag == tag) {
-        ++hits_;
+        if (cycle >= line.fillDone) {
+            ++hits_;
+            if (is_write)
+                line.dirty = true;
+            return cycle + cfg_.hitLatency;
+        }
+        // Miss-under-fill: the tag matches but the fill (a demand
+        // miss or prefetch issued earlier) has not arrived over QPI.
+        // Ride the in-flight fill rather than hitting on absent data;
+        // no new QPI transfer and no extra MSHR is needed.
+        ++missUnderFills_;
         if (is_write)
             line.dirty = true;
-        return cycle + cfg_.hitLatency;
+        return line.fillDone + cfg_.hitLatency;
     }
 
     reclaimMshrs(cycle);
@@ -43,22 +54,25 @@ Cache::access(uint64_t cycle, uint64_t addr, bool is_write)
     }
 
     ++misses_;
-    uint64_t issue = cycle;
     if (line.valid && line.dirty) {
-        // Write the victim back over QPI before the fill.
+        // The dirty victim's writeback is a queued QPI transfer: it
+        // occupies the link (the fill's service slot starts after
+        // it), but the fill still pays the one-way latency only once.
         ++writebacks_;
-        issue = qpi_.transfer(cycle, cfg_.lineBytes) - qpi_.config().latency;
+        qpi_.transfer(cycle, cfg_.lineBytes);
     }
-    uint64_t done = qpi_.transfer(issue, cfg_.lineBytes);
+    uint64_t done = qpi_.transfer(cycle, cfg_.lineBytes);
     line.valid = true;
     line.tag = tag;
     line.dirty = is_write;
+    line.fillDone = done;
     mshrDone_.push_back(done);
 
     if (cfg_.prefetchNextLine) {
         // Next-line prefetch: fill line N+1 unless it is already
-        // resident. Consumes link bandwidth but no MSHR (its fill is
-        // not awaited by anyone).
+        // resident or in flight. Consumes link bandwidth but no MSHR
+        // (its fill is not awaited by anyone); a later demand access
+        // that beats the fill is handled by the miss-under-fill path.
         uint64_t pf_line = line_addr + 1;
         uint64_t pf_set = pf_line % numLines_;
         uint64_t pf_tag = pf_line / numLines_;
@@ -66,16 +80,31 @@ Cache::access(uint64_t cycle, uint64_t addr, bool is_write)
         if (!pf.valid || pf.tag != pf_tag) {
             if (pf.valid && pf.dirty) {
                 ++writebacks_;
-                qpi_.transfer(issue, cfg_.lineBytes);
+                qpi_.transfer(cycle, cfg_.lineBytes);
             }
-            qpi_.transfer(issue, cfg_.lineBytes);
+            uint64_t pf_done = qpi_.transfer(cycle, cfg_.lineBytes);
             pf.valid = true;
             pf.tag = pf_tag;
             pf.dirty = false;
+            pf.fillDone = pf_done;
             ++prefetches_;
         }
     }
     return done;
+}
+
+void
+Cache::registerStats(StatRegistry &reg,
+                     const std::string &component) const
+{
+    // Key names keep the historical "mem" group vocabulary so trend
+    // files and benches keep working across the registry migration.
+    reg.addCounter(component, "cache_hits", hits_);
+    reg.addCounter(component, "cache_misses", misses_);
+    reg.addCounter(component, "writebacks", writebacks_);
+    reg.addCounter(component, "mshr_rejects", mshrRejects_);
+    reg.addCounter(component, "prefetches", prefetches_);
+    reg.addCounter(component, "miss_under_fills", missUnderFills_);
 }
 
 } // namespace apir

@@ -7,8 +7,11 @@
  * load/store unit.
  *
  * Timing-only: data values live in MemoryImage. Tags are updated at
- * issue time, which is the standard approximation for a
- * single-requestor cache model.
+ * issue time, but each line tracks the cycle its fill completes over
+ * QPI: a demand access that arrives before the data has (e.g. one
+ * cycle after a next-line prefetch was issued) rides the in-flight
+ * fill instead of hitting on data that is not there yet
+ * (miss-under-fill).
  */
 
 #ifndef APIR_MEM_CACHE_HH
@@ -16,11 +19,15 @@
 
 #include <cstdint>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "mem/qpi.hh"
+#include "support/stats.hh"
 
 namespace apir {
+
+class StatRegistry;
 
 /** Cache configuration; defaults model the HARP FPGA cache. */
 struct CacheConfig
@@ -51,13 +58,19 @@ class Cache
     std::optional<uint64_t> access(uint64_t cycle, uint64_t addr,
                                    bool is_write);
 
-    uint64_t hits() const { return hits_; }
-    uint64_t misses() const { return misses_; }
-    uint64_t writebacks() const { return writebacks_; }
-    uint64_t mshrRejects() const { return mshrRejects_; }
-    uint64_t prefetches() const { return prefetches_; }
+    uint64_t hits() const { return hits_.value(); }
+    uint64_t misses() const { return misses_.value(); }
+    uint64_t writebacks() const { return writebacks_.value(); }
+    uint64_t mshrRejects() const { return mshrRejects_.value(); }
+    uint64_t prefetches() const { return prefetches_.value(); }
+    /** Demand accesses that arrived while their line was in flight. */
+    uint64_t missUnderFills() const { return missUnderFills_.value(); }
 
     const CacheConfig &config() const { return cfg_; }
+
+    /** Register this cache's statistics under `component`. */
+    void registerStats(StatRegistry &reg,
+                       const std::string &component) const;
 
   private:
     struct Line
@@ -65,6 +78,8 @@ class Cache
         bool valid = false;
         bool dirty = false;
         uint64_t tag = 0;
+        /** Cycle the line's fill completes; data unusable before. */
+        uint64_t fillDone = 0;
     };
 
     void reclaimMshrs(uint64_t cycle);
@@ -74,11 +89,12 @@ class Cache
     uint64_t numLines_;
     std::vector<Line> lines_;
     std::vector<uint64_t> mshrDone_; //!< completion cycles of misses
-    uint64_t hits_ = 0;
-    uint64_t misses_ = 0;
-    uint64_t writebacks_ = 0;
-    uint64_t mshrRejects_ = 0;
-    uint64_t prefetches_ = 0;
+    Counter hits_;
+    Counter misses_;
+    Counter writebacks_;
+    Counter mshrRejects_;
+    Counter prefetches_;
+    Counter missUnderFills_;
 };
 
 } // namespace apir

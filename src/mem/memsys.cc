@@ -1,5 +1,8 @@
 #include "mem/memsys.hh"
 
+#include "support/stats_registry.hh"
+#include "support/trace.hh"
+
 namespace apir {
 
 MemorySystem::MemorySystem(MemConfig cfg) : cfg_(cfg)
@@ -18,17 +21,19 @@ MemorySystem::effectiveBandwidthGBs() const
 }
 
 void
-MemorySystem::report(StatGroup &g) const
+MemorySystem::registerStats(StatRegistry &reg,
+                            const std::string &component) const
 {
-    g.set("reads", static_cast<double>(reads_));
-    g.set("writes", static_cast<double>(writes_));
-    g.set("cache_hits", static_cast<double>(cache_->hits()));
-    g.set("cache_misses", static_cast<double>(cache_->misses()));
-    g.set("writebacks", static_cast<double>(cache_->writebacks()));
-    g.set("mshr_rejects", static_cast<double>(cache_->mshrRejects()));
-    g.set("prefetches", static_cast<double>(cache_->prefetches()));
-    g.set("qpi_bytes", static_cast<double>(qpi_->bytesMoved()));
-    g.set("qpi_busy_cycles", qpi_->busyCycles());
+    reg.addCounter(component, "reads", reads_);
+    reg.addCounter(component, "writes", writes_);
+    cache_->registerStats(reg, component);
+    qpi_->registerStats(reg, component);
+}
+
+void
+MemorySystem::attachTracer(ChromeTracer *tracer)
+{
+    qpi_->attachTracer(tracer);
 }
 
 } // namespace apir

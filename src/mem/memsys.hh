@@ -10,6 +10,7 @@
 
 #include <memory>
 #include <optional>
+#include <string>
 
 #include "mem/cache.hh"
 #include "mem/image.hh"
@@ -17,6 +18,9 @@
 #include "support/stats.hh"
 
 namespace apir {
+
+class StatRegistry;
+class ChromeTracer;
 
 /** Full memory-system configuration. */
 struct MemConfig
@@ -60,22 +64,29 @@ class MemorySystem
     const Cache &cache() const { return *cache_; }
     const QpiChannel &qpi() const { return *qpi_; }
 
-    uint64_t reads() const { return reads_; }
-    uint64_t writes() const { return writes_; }
+    uint64_t reads() const { return reads_.value(); }
+    uint64_t writes() const { return writes_.value(); }
 
     /** Effective QPI bandwidth in GB/s at 200 MHz. */
     double effectiveBandwidthGBs() const;
 
-    /** Dump counters into a StatGroup. */
-    void report(StatGroup &g) const;
+    /**
+     * Register the whole memory system's statistics (its own access
+     * counts plus the cache's and QPI link's) under `component`.
+     */
+    void registerStats(StatRegistry &reg,
+                       const std::string &component) const;
+
+    /** Forward QPI busy intervals to `tracer` (may be null). */
+    void attachTracer(ChromeTracer *tracer);
 
   private:
     MemConfig cfg_;
     MemoryImage image_;
     std::unique_ptr<QpiChannel> qpi_;
     std::unique_ptr<Cache> cache_;
-    uint64_t reads_ = 0;
-    uint64_t writes_ = 0;
+    Counter reads_;
+    Counter writes_;
 };
 
 } // namespace apir

@@ -1,8 +1,11 @@
 #include "mem/qpi.hh"
 
 #include <algorithm>
+#include <cmath>
 
 #include "support/logging.hh"
+#include "support/stats_registry.hh"
+#include "support/trace.hh"
 
 namespace apir {
 
@@ -15,8 +18,28 @@ QpiChannel::transfer(uint64_t cycle, uint64_t bytes)
     nextFree_ = start + service;
     busyCycles_ += service;
     bytesMoved_ += bytes;
+    ++transfers_;
+    if (tracer_) {
+        tracer_->completeEvent(
+            "qpi", "transfer", static_cast<uint64_t>(start),
+            std::max<uint64_t>(1, static_cast<uint64_t>(
+                                      std::ceil(service))));
+    }
+    // Ceil semantics: the data is usable on the first cycle at or
+    // after service + latency. An exact integral completion must not
+    // pay an extra cycle.
     double done = start + service + static_cast<double>(cfg_.latency);
-    return static_cast<uint64_t>(done) + 1;
+    return static_cast<uint64_t>(std::ceil(done));
+}
+
+void
+QpiChannel::registerStats(StatRegistry &reg,
+                          const std::string &component) const
+{
+    reg.addCounter(component, "qpi_bytes", bytesMoved_);
+    reg.addCounter(component, "qpi_transfers", transfers_);
+    reg.addValue(component, "qpi_busy_cycles",
+                 [this] { return busyCycles_; });
 }
 
 } // namespace apir

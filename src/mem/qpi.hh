@@ -8,17 +8,23 @@
  * Service model: each 64-byte line transfer occupies the link for
  * lineBytes / bytesPerCycle cycles; a transfer completes `latency`
  * cycles after its service slot starts. This is a deterministic
- * single-server queue.
+ * single-server queue. Completion cycles use ceil semantics: a
+ * transfer whose service+latency lands exactly on a cycle boundary
+ * completes on that cycle, not one later.
  */
 
 #ifndef APIR_MEM_QPI_HH
 #define APIR_MEM_QPI_HH
 
 #include <cstdint>
+#include <string>
 
 #include "support/stats.hh"
 
 namespace apir {
+
+class ChromeTracer;
+class StatRegistry;
 
 /** QPI configuration; defaults model HARP at 200 MHz. */
 struct QpiConfig
@@ -40,22 +46,33 @@ class QpiChannel
 
     /**
      * Schedule one cache-line transfer issued at `cycle`; returns its
-     * completion cycle.
+     * completion cycle (first cycle at which the data is usable).
      */
     uint64_t transfer(uint64_t cycle, uint64_t bytes);
 
     /** Total bytes moved. */
-    uint64_t bytesMoved() const { return bytesMoved_; }
+    uint64_t bytesMoved() const { return bytesMoved_.value(); }
+    /** Total transfers scheduled. */
+    uint64_t transfers() const { return transfers_.value(); }
     /** Cycles during which the link was busy. */
     double busyCycles() const { return busyCycles_; }
 
     const QpiConfig &config() const { return cfg_; }
 
+    /** Register this link's statistics under `component`. */
+    void registerStats(StatRegistry &reg,
+                       const std::string &component) const;
+
+    /** Emit busy intervals to `tracer` (not owned; may be null). */
+    void attachTracer(ChromeTracer *tracer) { tracer_ = tracer; }
+
   private:
     QpiConfig cfg_;
     double nextFree_ = 0.0;
-    uint64_t bytesMoved_ = 0;
+    Counter bytesMoved_;
+    Counter transfers_;
     double busyCycles_ = 0.0;
+    ChromeTracer *tracer_ = nullptr;
 };
 
 } // namespace apir

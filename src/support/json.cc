@@ -1,0 +1,496 @@
+#include "support/json.hh"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <sstream>
+#include <stdexcept>
+
+#include "support/logging.hh"
+
+namespace apir {
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (unsigned char c : s) {
+        switch (c) {
+          case '"':  out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\b': out += "\\b"; break;
+          case '\f': out += "\\f"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (c < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += static_cast<char>(c);
+            }
+        }
+    }
+    return out;
+}
+
+JsonValue
+JsonValue::boolean(bool b)
+{
+    JsonValue v;
+    v.kind_ = Kind::Bool;
+    v.bool_ = b;
+    return v;
+}
+
+JsonValue
+JsonValue::number(double d)
+{
+    JsonValue v;
+    v.kind_ = Kind::Number;
+    v.num_ = d;
+    return v;
+}
+
+JsonValue
+JsonValue::str(std::string s)
+{
+    JsonValue v;
+    v.kind_ = Kind::String;
+    v.str_ = std::move(s);
+    return v;
+}
+
+JsonValue
+JsonValue::array()
+{
+    JsonValue v;
+    v.kind_ = Kind::Array;
+    return v;
+}
+
+JsonValue
+JsonValue::object()
+{
+    JsonValue v;
+    v.kind_ = Kind::Object;
+    return v;
+}
+
+bool
+JsonValue::asBool() const
+{
+    APIR_ASSERT(kind_ == Kind::Bool, "JSON value is not a bool");
+    return bool_;
+}
+
+double
+JsonValue::asNumber() const
+{
+    APIR_ASSERT(kind_ == Kind::Number, "JSON value is not a number");
+    return num_;
+}
+
+const std::string &
+JsonValue::asString() const
+{
+    APIR_ASSERT(kind_ == Kind::String, "JSON value is not a string");
+    return str_;
+}
+
+void
+JsonValue::push(JsonValue v)
+{
+    APIR_ASSERT(kind_ == Kind::Array, "push into a non-array");
+    arr_.push_back(std::move(v));
+}
+
+size_t
+JsonValue::size() const
+{
+    return kind_ == Kind::Object ? obj_.size() : arr_.size();
+}
+
+const JsonValue &
+JsonValue::at(size_t i) const
+{
+    APIR_ASSERT(kind_ == Kind::Array && i < arr_.size(),
+                "JSON array index out of range");
+    return arr_[i];
+}
+
+JsonValue &
+JsonValue::set(const std::string &key, JsonValue v)
+{
+    APIR_ASSERT(kind_ == Kind::Object, "set on a non-object");
+    for (auto &[k, val] : obj_) {
+        if (k == key) {
+            val = std::move(v);
+            return *this;
+        }
+    }
+    obj_.emplace_back(key, std::move(v));
+    return *this;
+}
+
+bool
+JsonValue::has(const std::string &key) const
+{
+    return find(key) != nullptr;
+}
+
+const JsonValue *
+JsonValue::find(const std::string &key) const
+{
+    if (kind_ != Kind::Object)
+        return nullptr;
+    for (const auto &[k, v] : obj_)
+        if (k == key)
+            return &v;
+    return nullptr;
+}
+
+const JsonValue &
+JsonValue::at(const std::string &key) const
+{
+    const JsonValue *v = find(key);
+    if (!v)
+        fatal("JSON object has no member '", key, "'");
+    return *v;
+}
+
+namespace {
+
+void
+writeNumber(std::ostream &os, double v)
+{
+    // NaN/inf are not valid JSON; emit null rather than garbage.
+    if (!std::isfinite(v)) {
+        os << "null";
+        return;
+    }
+    double rounded = std::nearbyint(v);
+    if (rounded == v && std::fabs(v) < 9.007199254740992e15) {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%lld",
+                      static_cast<long long>(v));
+        os << buf;
+    } else {
+        char buf[40];
+        std::snprintf(buf, sizeof(buf), "%.17g", v);
+        os << buf;
+    }
+}
+
+void
+writeIndent(std::ostream &os, int depth)
+{
+    os << "\n";
+    for (int i = 0; i < depth; ++i)
+        os << "  ";
+}
+
+} // namespace
+
+void
+JsonValue::write(std::ostream &os, int indent) const
+{
+    bool pretty = indent >= 0;
+    switch (kind_) {
+      case Kind::Null:
+        os << "null";
+        break;
+      case Kind::Bool:
+        os << (bool_ ? "true" : "false");
+        break;
+      case Kind::Number:
+        writeNumber(os, num_);
+        break;
+      case Kind::String:
+        os << '"' << jsonEscape(str_) << '"';
+        break;
+      case Kind::Array: {
+        os << '[';
+        for (size_t i = 0; i < arr_.size(); ++i) {
+            if (i)
+                os << ',';
+            if (pretty)
+                writeIndent(os, indent + 1);
+            arr_[i].write(os, pretty ? indent + 1 : -1);
+        }
+        if (pretty && !arr_.empty())
+            writeIndent(os, indent);
+        os << ']';
+        break;
+      }
+      case Kind::Object: {
+        os << '{';
+        for (size_t i = 0; i < obj_.size(); ++i) {
+            if (i)
+                os << ',';
+            if (pretty)
+                writeIndent(os, indent + 1);
+            os << '"' << jsonEscape(obj_[i].first) << "\":";
+            if (pretty)
+                os << ' ';
+            obj_[i].second.write(os, pretty ? indent + 1 : -1);
+        }
+        if (pretty && !obj_.empty())
+            writeIndent(os, indent);
+        os << '}';
+        break;
+      }
+    }
+}
+
+std::string
+JsonValue::dump(bool pretty) const
+{
+    std::ostringstream ss;
+    write(ss, pretty ? 0 : -1);
+    return ss.str();
+}
+
+// ------------------------------------------------------------- parser
+
+namespace {
+
+class Parser
+{
+  public:
+    explicit Parser(const std::string &text) : text_(text) {}
+
+    JsonValue
+    parseDocument()
+    {
+        JsonValue v = parseValue();
+        skipWs();
+        if (pos_ != text_.size())
+            err("trailing characters after JSON document");
+        return v;
+    }
+
+  private:
+    [[noreturn]] void
+    err(const std::string &what)
+    {
+        throw std::runtime_error("JSON parse error at offset " +
+                                 std::to_string(pos_) + ": " + what);
+    }
+
+    void
+    skipWs()
+    {
+        while (pos_ < text_.size() &&
+               (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+                text_[pos_] == '\n' || text_[pos_] == '\r'))
+            ++pos_;
+    }
+
+    char
+    peek()
+    {
+        if (pos_ >= text_.size())
+            err("unexpected end of input");
+        return text_[pos_];
+    }
+
+    void
+    expect(char c)
+    {
+        if (peek() != c)
+            err(std::string("expected '") + c + "'");
+        ++pos_;
+    }
+
+    bool
+    consumeLiteral(const char *lit)
+    {
+        size_t n = std::strlen(lit);
+        if (text_.compare(pos_, n, lit) == 0) {
+            pos_ += n;
+            return true;
+        }
+        return false;
+    }
+
+    JsonValue
+    parseValue()
+    {
+        skipWs();
+        char c = peek();
+        switch (c) {
+          case '{': return parseObject();
+          case '[': return parseArray();
+          case '"': return JsonValue::str(parseString());
+          case 't':
+            if (consumeLiteral("true"))
+                return JsonValue::boolean(true);
+            err("bad literal");
+          case 'f':
+            if (consumeLiteral("false"))
+                return JsonValue::boolean(false);
+            err("bad literal");
+          case 'n':
+            if (consumeLiteral("null"))
+                return JsonValue();
+            err("bad literal");
+          default:
+            return parseNumber();
+        }
+    }
+
+    JsonValue
+    parseObject()
+    {
+        expect('{');
+        JsonValue v = JsonValue::object();
+        skipWs();
+        if (peek() == '}') {
+            ++pos_;
+            return v;
+        }
+        for (;;) {
+            skipWs();
+            std::string key = parseString();
+            skipWs();
+            expect(':');
+            v.set(key, parseValue());
+            skipWs();
+            if (peek() == ',') {
+                ++pos_;
+                continue;
+            }
+            expect('}');
+            return v;
+        }
+    }
+
+    JsonValue
+    parseArray()
+    {
+        expect('[');
+        JsonValue v = JsonValue::array();
+        skipWs();
+        if (peek() == ']') {
+            ++pos_;
+            return v;
+        }
+        for (;;) {
+            v.push(parseValue());
+            skipWs();
+            if (peek() == ',') {
+                ++pos_;
+                continue;
+            }
+            expect(']');
+            return v;
+        }
+    }
+
+    std::string
+    parseString()
+    {
+        expect('"');
+        std::string out;
+        for (;;) {
+            if (pos_ >= text_.size())
+                err("unterminated string");
+            char c = text_[pos_++];
+            if (c == '"')
+                return out;
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            if (pos_ >= text_.size())
+                err("unterminated escape");
+            char e = text_[pos_++];
+            switch (e) {
+              case '"':  out += '"'; break;
+              case '\\': out += '\\'; break;
+              case '/':  out += '/'; break;
+              case 'b':  out += '\b'; break;
+              case 'f':  out += '\f'; break;
+              case 'n':  out += '\n'; break;
+              case 'r':  out += '\r'; break;
+              case 't':  out += '\t'; break;
+              case 'u': {
+                if (pos_ + 4 > text_.size())
+                    err("truncated \\u escape");
+                unsigned cp = 0;
+                for (int i = 0; i < 4; ++i) {
+                    char h = text_[pos_++];
+                    cp <<= 4;
+                    if (h >= '0' && h <= '9')
+                        cp |= static_cast<unsigned>(h - '0');
+                    else if (h >= 'a' && h <= 'f')
+                        cp |= static_cast<unsigned>(h - 'a' + 10);
+                    else if (h >= 'A' && h <= 'F')
+                        cp |= static_cast<unsigned>(h - 'A' + 10);
+                    else
+                        err("bad hex digit in \\u escape");
+                }
+                // UTF-8 encode (BMP only; surrogate pairs unneeded
+                // for the ASCII identifiers this repo emits).
+                if (cp < 0x80) {
+                    out += static_cast<char>(cp);
+                } else if (cp < 0x800) {
+                    out += static_cast<char>(0xc0 | (cp >> 6));
+                    out += static_cast<char>(0x80 | (cp & 0x3f));
+                } else {
+                    out += static_cast<char>(0xe0 | (cp >> 12));
+                    out += static_cast<char>(0x80 | ((cp >> 6) & 0x3f));
+                    out += static_cast<char>(0x80 | (cp & 0x3f));
+                }
+                break;
+              }
+              default:
+                err("bad escape character");
+            }
+        }
+    }
+
+    JsonValue
+    parseNumber()
+    {
+        size_t start = pos_;
+        if (peek() == '-')
+            ++pos_;
+        while (pos_ < text_.size() &&
+               (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+                text_[pos_] == '.' || text_[pos_] == 'e' ||
+                text_[pos_] == 'E' || text_[pos_] == '+' ||
+                text_[pos_] == '-'))
+            ++pos_;
+        if (pos_ == start)
+            err("expected a value");
+        try {
+            size_t used = 0;
+            std::string tok = text_.substr(start, pos_ - start);
+            double v = std::stod(tok, &used);
+            if (used != tok.size())
+                err("malformed number");
+            return JsonValue::number(v);
+        } catch (const std::logic_error &) {
+            err("malformed number");
+        }
+    }
+
+    const std::string &text_;
+    size_t pos_ = 0;
+};
+
+} // namespace
+
+JsonValue
+JsonValue::parse(const std::string &text)
+{
+    return Parser(text).parseDocument();
+}
+
+} // namespace apir

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Minimal JSON value model used by the observability layer: benches
+ * serialize per-component statistics with it (`--stats-json`), the
+ * Chrome tracer escapes strings through it, and tests parse emitted
+ * documents back to sanity-check them. Deliberately tiny — a tree of
+ * tagged values plus a recursive-descent parser — so the repo needs
+ * no external JSON dependency.
+ */
+
+#ifndef APIR_SUPPORT_JSON_HH
+#define APIR_SUPPORT_JSON_HH
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace apir {
+
+/** Escape a string for inclusion in a JSON document (no quotes). */
+std::string jsonEscape(const std::string &s);
+
+/** A JSON document node. Objects preserve insertion order. */
+class JsonValue
+{
+  public:
+    enum class Kind { Null, Bool, Number, String, Array, Object };
+
+    JsonValue() : kind_(Kind::Null) {}
+
+    static JsonValue boolean(bool b);
+    static JsonValue number(double v);
+    static JsonValue str(std::string s);
+    static JsonValue array();
+    static JsonValue object();
+
+    Kind kind() const { return kind_; }
+    bool isNull() const { return kind_ == Kind::Null; }
+    bool isBool() const { return kind_ == Kind::Bool; }
+    bool isNumber() const { return kind_ == Kind::Number; }
+    bool isString() const { return kind_ == Kind::String; }
+    bool isArray() const { return kind_ == Kind::Array; }
+    bool isObject() const { return kind_ == Kind::Object; }
+
+    bool asBool() const;
+    double asNumber() const;
+    const std::string &asString() const;
+
+    // Array interface.
+    void push(JsonValue v);
+    size_t size() const;
+    const JsonValue &at(size_t i) const;
+
+    // Object interface.
+    JsonValue &set(const std::string &key, JsonValue v);
+    bool has(const std::string &key) const;
+    /** Member lookup; nullptr when absent (or not an object). */
+    const JsonValue *find(const std::string &key) const;
+    /** Member lookup; fatal error when absent. */
+    const JsonValue &at(const std::string &key) const;
+    const std::vector<std::pair<std::string, JsonValue>> &
+    members() const
+    {
+        return obj_;
+    }
+
+    /** Serialize; indent >= 0 pretty-prints with that base depth. */
+    void write(std::ostream &os, int indent = -1) const;
+    std::string dump(bool pretty = false) const;
+
+    /**
+     * Parse a complete JSON document. Throws std::runtime_error with
+     * an offset-annotated message on malformed input.
+     */
+    static JsonValue parse(const std::string &text);
+
+  private:
+    Kind kind_;
+    bool bool_ = false;
+    double num_ = 0.0;
+    std::string str_;
+    std::vector<JsonValue> arr_;
+    std::vector<std::pair<std::string, JsonValue>> obj_;
+};
+
+} // namespace apir
+
+#endif // APIR_SUPPORT_JSON_HH

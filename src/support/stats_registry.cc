@@ -1,0 +1,206 @@
+#include "support/stats_registry.hh"
+
+#include <iomanip>
+
+#include "support/logging.hh"
+
+namespace apir {
+
+double
+StatRegistry::Entry::scalar() const
+{
+    switch (kind) {
+      case Kind::CounterStat:
+        return static_cast<double>(counter->value());
+      case Kind::AverageStat:
+        return average->mean();
+      case Kind::HistogramStat:
+        return static_cast<double>(histogram->total());
+      case Kind::ValueStat:
+        return fn();
+    }
+    return 0.0;
+}
+
+std::vector<StatRegistry::Entry> &
+StatRegistry::groupFor(const std::string &component)
+{
+    for (auto &[name, entries] : groups_)
+        if (name == component)
+            return entries;
+    groups_.emplace_back(component, std::vector<Entry>{});
+    return groups_.back().second;
+}
+
+const StatRegistry::Entry *
+StatRegistry::findEntry(const std::string &component,
+                        const std::string &name) const
+{
+    for (const auto &[comp, entries] : groups_) {
+        if (comp != component)
+            continue;
+        for (const Entry &e : entries)
+            if (e.name == name)
+                return &e;
+    }
+    return nullptr;
+}
+
+void
+StatRegistry::addCounter(const std::string &component,
+                         const std::string &name, const Counter &c)
+{
+    Entry e;
+    e.name = name;
+    e.kind = Entry::Kind::CounterStat;
+    e.counter = &c;
+    groupFor(component).push_back(std::move(e));
+}
+
+void
+StatRegistry::addAverage(const std::string &component,
+                         const std::string &name, const Average &a)
+{
+    Entry e;
+    e.name = name;
+    e.kind = Entry::Kind::AverageStat;
+    e.average = &a;
+    groupFor(component).push_back(std::move(e));
+}
+
+void
+StatRegistry::addHistogram(const std::string &component,
+                           const std::string &name, const Histogram &h)
+{
+    Entry e;
+    e.name = name;
+    e.kind = Entry::Kind::HistogramStat;
+    e.histogram = &h;
+    groupFor(component).push_back(std::move(e));
+}
+
+void
+StatRegistry::addValue(const std::string &component,
+                       const std::string &name,
+                       std::function<double()> fn)
+{
+    Entry e;
+    e.name = name;
+    e.kind = Entry::Kind::ValueStat;
+    e.fn = std::move(fn);
+    groupFor(component).push_back(std::move(e));
+}
+
+size_t
+StatRegistry::size() const
+{
+    size_t n = 0;
+    for (const auto &[comp, entries] : groups_)
+        n += entries.size();
+    return n;
+}
+
+std::vector<std::string>
+StatRegistry::components() const
+{
+    std::vector<std::string> out;
+    out.reserve(groups_.size());
+    for (const auto &[comp, entries] : groups_)
+        out.push_back(comp);
+    return out;
+}
+
+bool
+StatRegistry::has(const std::string &component,
+                  const std::string &name) const
+{
+    return findEntry(component, name) != nullptr;
+}
+
+double
+StatRegistry::value(const std::string &component,
+                    const std::string &name) const
+{
+    const Entry *e = findEntry(component, name);
+    if (!e)
+        fatal("no statistic '", component, ".", name, "' registered");
+    return e->scalar();
+}
+
+std::vector<StatGroup>
+StatRegistry::snapshot() const
+{
+    std::vector<StatGroup> out;
+    out.reserve(groups_.size());
+    for (const auto &[comp, entries] : groups_) {
+        StatGroup g(comp);
+        for (const Entry &e : entries) {
+            switch (e.kind) {
+              case Entry::Kind::AverageStat:
+                g.set(e.name + ".mean", e.average->mean());
+                g.set(e.name + ".min", e.average->min());
+                g.set(e.name + ".max", e.average->max());
+                g.set(e.name + ".count",
+                      static_cast<double>(e.average->count()));
+                break;
+              default:
+                g.set(e.name, e.scalar());
+                break;
+            }
+        }
+        out.push_back(std::move(g));
+    }
+    return out;
+}
+
+void
+StatRegistry::dump(std::ostream &os) const
+{
+    for (const StatGroup &g : snapshot())
+        g.dump(os);
+}
+
+JsonValue
+StatRegistry::toJson() const
+{
+    JsonValue root = JsonValue::object();
+    for (const auto &[comp, entries] : groups_) {
+        JsonValue g = JsonValue::object();
+        for (const Entry &e : entries) {
+            switch (e.kind) {
+              case Entry::Kind::AverageStat: {
+                JsonValue a = JsonValue::object();
+                a.set("mean", JsonValue::number(e.average->mean()));
+                a.set("min", JsonValue::number(e.average->min()));
+                a.set("max", JsonValue::number(e.average->max()));
+                a.set("count", JsonValue::number(
+                                   static_cast<double>(
+                                       e.average->count())));
+                g.set(e.name, std::move(a));
+                break;
+              }
+              case Entry::Kind::HistogramStat: {
+                JsonValue h = JsonValue::object();
+                h.set("width",
+                      JsonValue::number(e.histogram->bucketWidth()));
+                h.set("total", JsonValue::number(static_cast<double>(
+                                   e.histogram->total())));
+                JsonValue buckets = JsonValue::array();
+                for (size_t i = 0; i < e.histogram->buckets(); ++i)
+                    buckets.push(JsonValue::number(static_cast<double>(
+                        e.histogram->bucket(i))));
+                h.set("buckets", std::move(buckets));
+                g.set(e.name, std::move(h));
+                break;
+              }
+              default:
+                g.set(e.name, JsonValue::number(e.scalar()));
+                break;
+            }
+        }
+        root.set(comp, std::move(g));
+    }
+    return root;
+}
+
+} // namespace apir

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * The unified statistics registry every simulated component reports
+ * through. Components register *typed* statistics — live Counter /
+ * Average / Histogram objects or value callbacks — under a component
+ * name at construction time; harnesses then take scalar snapshots
+ * (gem5-style StatGroups), dump text, or serialize the whole registry
+ * to JSON for machine-readable trend tracking (`--stats-json`).
+ *
+ * The registry stores non-owning pointers: a registered object must
+ * outlive the registry (the normal pattern is a component registering
+ * its own members, with the registry owned by the same aggregate —
+ * e.g. the Accelerator).
+ */
+
+#ifndef APIR_SUPPORT_STATS_REGISTRY_HH
+#define APIR_SUPPORT_STATS_REGISTRY_HH
+
+#include <functional>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "support/json.hh"
+#include "support/stats.hh"
+
+namespace apir {
+
+/** Insertion-ordered registry of named, typed statistics. */
+class StatRegistry
+{
+  public:
+    void addCounter(const std::string &component,
+                    const std::string &name, const Counter &c);
+    void addAverage(const std::string &component,
+                    const std::string &name, const Average &a);
+    void addHistogram(const std::string &component,
+                      const std::string &name, const Histogram &h);
+    /** A computed scalar, evaluated lazily at snapshot/dump time. */
+    void addValue(const std::string &component, const std::string &name,
+                  std::function<double()> fn);
+
+    /** Number of registered statistics across all components. */
+    size_t size() const;
+    /** Component names in registration order. */
+    std::vector<std::string> components() const;
+    bool has(const std::string &component,
+             const std::string &name) const;
+    /**
+     * Current scalar view of one statistic (histograms collapse to
+     * their total sample count, averages to their mean).
+     */
+    double value(const std::string &component,
+                 const std::string &name) const;
+
+    /** Scalar snapshot, one StatGroup per component. */
+    std::vector<StatGroup> snapshot() const;
+
+    /** Print "component.stat value" lines for every statistic. */
+    void dump(std::ostream &os) const;
+
+    /**
+     * Full structured serialization: scalars as numbers, averages as
+     * {mean,min,max,count}, histograms as {width,total,buckets}.
+     */
+    JsonValue toJson() const;
+
+  private:
+    struct Entry
+    {
+        std::string name;
+        enum class Kind { CounterStat, AverageStat, HistogramStat,
+                          ValueStat } kind;
+        const Counter *counter = nullptr;
+        const Average *average = nullptr;
+        const Histogram *histogram = nullptr;
+        std::function<double()> fn;
+
+        double scalar() const;
+    };
+
+    std::vector<Entry> &groupFor(const std::string &component);
+    const Entry *findEntry(const std::string &component,
+                           const std::string &name) const;
+
+    std::vector<std::pair<std::string, std::vector<Entry>>> groups_;
+};
+
+} // namespace apir
+
+#endif // APIR_SUPPORT_STATS_REGISTRY_HH

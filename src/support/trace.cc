@@ -1,0 +1,100 @@
+#include "support/trace.hh"
+
+#include "support/json.hh"
+
+namespace apir {
+
+ChromeTracer::ChromeTracer(std::ostream &os, uint64_t from_cycle,
+                           uint64_t to_cycle)
+    : os_(os), from_(from_cycle), to_(to_cycle)
+{
+    os_ << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+}
+
+ChromeTracer::~ChromeTracer()
+{
+    finish();
+}
+
+void
+ChromeTracer::separator()
+{
+    if (!first_)
+        os_ << ",";
+    os_ << "\n";
+    first_ = false;
+}
+
+uint32_t
+ChromeTracer::trackId(const std::string &track)
+{
+    auto it = tracks_.find(track);
+    if (it != tracks_.end())
+        return it->second;
+    uint32_t id = static_cast<uint32_t>(tracks_.size());
+    tracks_.emplace(track, id);
+    // Name the track once via thread_name metadata so viewers show
+    // "queue.frontier" instead of a bare tid.
+    separator();
+    os_ << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":"
+        << id << ",\"args\":{\"name\":\"" << jsonEscape(track)
+        << "\"}}";
+    return id;
+}
+
+void
+ChromeTracer::completeEvent(const std::string &track,
+                            const std::string &name, uint64_t cycle,
+                            uint64_t dur)
+{
+    if (!active(cycle))
+        return;
+    uint32_t tid = trackId(track);
+    separator();
+    os_ << "{\"name\":\"" << jsonEscape(name)
+        << "\",\"ph\":\"X\",\"ts\":" << cycle << ",\"dur\":" << dur
+        << ",\"pid\":0,\"tid\":" << tid << "}";
+    ++events_;
+}
+
+void
+ChromeTracer::counterEvent(const std::string &track,
+                           const std::string &name, uint64_t cycle,
+                           double value)
+{
+    if (!active(cycle))
+        return;
+    uint32_t tid = trackId(track);
+    separator();
+    os_ << "{\"name\":\"" << jsonEscape(name)
+        << "\",\"ph\":\"C\",\"ts\":" << cycle << ",\"pid\":0,\"tid\":"
+        << tid << ",\"args\":{\"" << jsonEscape(name) << "\":" << value
+        << "}}";
+    ++events_;
+}
+
+void
+ChromeTracer::instantEvent(const std::string &track,
+                           const std::string &name, uint64_t cycle)
+{
+    if (!active(cycle))
+        return;
+    uint32_t tid = trackId(track);
+    separator();
+    os_ << "{\"name\":\"" << jsonEscape(name)
+        << "\",\"ph\":\"i\",\"ts\":" << cycle
+        << ",\"s\":\"t\",\"pid\":0,\"tid\":" << tid << "}";
+    ++events_;
+}
+
+void
+ChromeTracer::finish()
+{
+    if (finished_)
+        return;
+    finished_ = true;
+    os_ << "\n]}\n";
+    os_.flush();
+}
+
+} // namespace apir

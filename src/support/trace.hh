@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Per-cycle event tracer emitting Chrome `trace_event` JSON
+ * (chrome://tracing / Perfetto "JSON array format"). Components call
+ * in with named tracks — stage firings become duration ("X") events,
+ * queue depths become counter ("C") series, QPI transfers become busy
+ * intervals on the link track — and the tracer streams events inside
+ * a bounded cycle window [fromCycle, toCycle) so traces of long runs
+ * stay small. One simulated cycle maps to one microsecond of trace
+ * time.
+ */
+
+#ifndef APIR_SUPPORT_TRACE_HH
+#define APIR_SUPPORT_TRACE_HH
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+
+namespace apir {
+
+/** Streaming Chrome trace_event writer over a bounded cycle window. */
+class ChromeTracer
+{
+  public:
+    /** Events outside [fromCycle, toCycle) are dropped. Not owned. */
+    explicit ChromeTracer(std::ostream &os, uint64_t from_cycle = 0,
+                          uint64_t to_cycle = ~0ull);
+    ~ChromeTracer();
+
+    ChromeTracer(const ChromeTracer &) = delete;
+    ChromeTracer &operator=(const ChromeTracer &) = delete;
+
+    /** Would an event at `cycle` be recorded? */
+    bool
+    active(uint64_t cycle) const
+    {
+        return !finished_ && cycle >= from_ && cycle < to_;
+    }
+
+    /** A duration ("X") event of `dur` cycles on `track`. */
+    void completeEvent(const std::string &track, const std::string &name,
+                       uint64_t cycle, uint64_t dur);
+
+    /** A counter ("C") sample on `track`. */
+    void counterEvent(const std::string &track, const std::string &name,
+                      uint64_t cycle, double value);
+
+    /** An instant ("i") event on `track`. */
+    void instantEvent(const std::string &track, const std::string &name,
+                      uint64_t cycle);
+
+    /** Close the JSON document; further events are dropped. */
+    void finish();
+
+    uint64_t events() const { return events_; }
+
+  private:
+    uint32_t trackId(const std::string &track);
+    void separator();
+
+    std::ostream &os_;
+    uint64_t from_;
+    uint64_t to_;
+    bool first_ = true;
+    bool finished_ = false;
+    uint64_t events_ = 0;
+    std::map<std::string, uint32_t> tracks_;
+};
+
+} // namespace apir
+
+#endif // APIR_SUPPORT_TRACE_HH

@@ -16,7 +16,9 @@
 #include "hw/rendezvous_group.hh"
 #include "hw/rule_engine.hh"
 #include "hw/task_queue.hh"
+#include "support/json.hh"
 #include "support/logging.hh"
+#include "support/trace.hh"
 
 namespace apir {
 namespace {
@@ -519,6 +521,95 @@ TEST(MicroAccel, TraceWindowFilters)
     Accelerator accel(spec, cfg, mem);
     accel.run();
     EXPECT_TRUE(trace.str().empty());
+}
+
+TEST(MicroAccel, StatsRegistryRoundTripsThroughJson)
+{
+    setQuietLogging(true);
+    MemorySystem mem;
+    AcceleratorSpec spec;
+    spec.name = "registry";
+    spec.sets = {{"t", TaskSetKind::ForEach, 0, 1}};
+    PipelineBuilder b("t", 0);
+    b.alu("nop", [](Token &) {}).sink("done");
+    spec.pipelines.push_back(b.build());
+    for (int i = 0; i < 8; ++i)
+        spec.seed(0, {Word(i)});
+
+    AccelConfig cfg;
+    cfg.pipelinesPerSet = 1;
+    Accelerator accel(spec, cfg, mem);
+    RunResult rr = accel.run();
+
+    // The registry sees live components and agrees with the
+    // snapshot the run result carries.
+    const StatRegistry &reg = accel.stats();
+    EXPECT_TRUE(reg.has("queue.t", "pushes"));
+    EXPECT_TRUE(reg.has("mem", "cache_hits"));
+    EXPECT_EQ(reg.value("queue.t", "pops"),
+              static_cast<double>(rr.tasksExecuted));
+    EXPECT_EQ(reg.value("stages", "Alu.tokens"), 8.0);
+
+    // Serialize to JSON, parse it back, and cross-check every scalar
+    // against the StatGroup snapshot.
+    JsonValue doc = JsonValue::parse(reg.toJson().dump(true));
+    for (const StatGroup &g : rr.groups) {
+        if (g.name() == "accel")
+            continue; // summary group is assembled outside the registry
+        const JsonValue *comp = doc.find(g.name());
+        ASSERT_NE(comp, nullptr) << g.name();
+        for (const auto &[key, val] : g.values()) {
+            // Average expansions ("x.mean") live under object "x" in
+            // the JSON form; scalars must match exactly.
+            auto dot = key.find('.');
+            if (comp->find(key) != nullptr && comp->at(key).isNumber())
+                EXPECT_DOUBLE_EQ(comp->at(key).asNumber(), val)
+                    << g.name() << "." << key;
+            else if (dot != std::string::npos)
+                EXPECT_TRUE(comp->has(key.substr(0, dot)));
+        }
+    }
+    // The queue occupancy histogram survives with structure.
+    const JsonValue &occ = doc.at("queue.t").at("occupancy");
+    EXPECT_GT(occ.at("total").asNumber(), 0.0);
+    EXPECT_GT(occ.at("buckets").size(), 0u);
+}
+
+TEST(MicroAccel, ChromeTracerRecordsStagesAndQueues)
+{
+    setQuietLogging(true);
+    MemorySystem mem;
+    AcceleratorSpec spec;
+    spec.name = "chrome";
+    spec.sets = {{"t", TaskSetKind::ForEach, 0, 1}};
+    PipelineBuilder b("t", 0);
+    b.alu("bump", [](Token &t) { t.words[0] += 1; }).sink("done");
+    spec.pipelines.push_back(b.build());
+    for (int i = 0; i < 4; ++i)
+        spec.seed(0, {Word(i)});
+
+    std::ostringstream os;
+    {
+        ChromeTracer tracer(os);
+        AccelConfig cfg;
+        cfg.pipelinesPerSet = 1;
+        cfg.tracer = &tracer;
+        Accelerator accel(spec, cfg, mem);
+        accel.run();
+        EXPECT_GT(tracer.events(), 0u);
+    }
+
+    JsonValue doc = JsonValue::parse(os.str());
+    const JsonValue &events = doc.at("traceEvents");
+    bool saw_stage = false, saw_depth = false;
+    for (size_t i = 0; i < events.size(); ++i) {
+        const JsonValue &e = events.at(i);
+        const std::string &ph = e.at("ph").asString();
+        saw_stage |= ph == "X" && e.at("name").asString() == "Alu";
+        saw_depth |= ph == "C" && e.at("name").asString() == "depth";
+    }
+    EXPECT_TRUE(saw_stage);
+    EXPECT_TRUE(saw_depth);
 }
 
 } // namespace

@@ -8,6 +8,7 @@
 #include <gtest/gtest.h>
 
 #include "mem/memsys.hh"
+#include "support/stats_registry.hh"
 
 namespace apir {
 namespace {
@@ -135,9 +136,11 @@ TEST(MemorySystem, CountsReadsAndWrites)
     mem.request(0, 192, false);
     EXPECT_EQ(mem.reads(), 2u);
     EXPECT_EQ(mem.writes(), 1u);
-    StatGroup g("mem");
-    mem.report(g);
-    EXPECT_TRUE(g.has("cache_misses"));
+    StatRegistry reg;
+    mem.registerStats(reg, "mem");
+    EXPECT_TRUE(reg.has("mem", "cache_misses"));
+    EXPECT_EQ(reg.value("mem", "reads"), 2.0);
+    EXPECT_EQ(reg.value("mem", "writes"), 1.0);
 }
 
 

@@ -1,0 +1,201 @@
+/**
+ * @file
+ * Regression tests pinning exact memory-system completion cycles.
+ * Each test encodes a timing bug fixed in the observability PR:
+ *
+ *  - QpiChannel::transfer once returned floor(done) + 1 even when the
+ *    completion landed exactly on a cycle boundary, taxing every
+ *    integral-completion transfer one extra cycle.
+ *  - Dirty-victim writebacks once subtracted the one-way latency from
+ *    the fill's completion instead of queueing the writeback on the
+ *    link ahead of the fill.
+ *  - Next-line prefetch once marked the prefetched line valid (and
+ *    hittable) at issue time, so a demand access one cycle later
+ *    "hit" on data still 40+ cycles away over QPI.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "mem/cache.hh"
+#include "mem/qpi.hh"
+#include "support/json.hh"
+#include "support/trace.hh"
+
+namespace apir {
+namespace {
+
+TEST(QpiTiming, IntegralCompletionIsNotRoundedUp)
+{
+    QpiChannel q({32.0, 40});
+    // 64 B / 32 B-per-cycle = 2 cycles service; 100 + 2 + 40 = 142
+    // exactly. Pre-fix code returned floor(142) + 1 = 143.
+    EXPECT_EQ(q.transfer(100, 64), 142u);
+    // Queued behind the first: service starts at 102, done 144.
+    EXPECT_EQ(q.transfer(100, 64), 144u);
+}
+
+TEST(QpiTiming, FractionalCompletionRoundsUp)
+{
+    QpiChannel q({35.0, 40});
+    // service = 64/35 = 1.8286; done = ceil(41.8286) = 42.
+    EXPECT_EQ(q.transfer(0, 64), 42u);
+    // Second queued: start 1.8286, done = ceil(43.6571) = 44.
+    EXPECT_EQ(q.transfer(0, 64), 44u);
+    // Service accounting stays fractional even though completions
+    // are whole cycles.
+    EXPECT_NEAR(q.busyCycles(), 2.0 * 64.0 / 35.0, 1e-9);
+}
+
+TEST(QpiTiming, LatencyHidesBehindQueueing)
+{
+    QpiChannel q({32.0, 40});
+    // Ten back-to-back line transfers: completions are 2 cycles
+    // apart (the service interval), each paying the latency once.
+    uint64_t prev = q.transfer(0, 64);
+    EXPECT_EQ(prev, 42u);
+    for (int i = 1; i < 10; ++i) {
+        uint64_t done = q.transfer(0, 64);
+        EXPECT_EQ(done, prev + 2);
+        prev = done;
+    }
+}
+
+TEST(CacheTiming, WritebackQueuesAheadOfFill)
+{
+    QpiChannel q({32.0, 40});
+    Cache c({64 * 1024, 64, 14, 32, false}, q);
+
+    // Dirty line 0 (write miss at cycle 0), then evict it with a
+    // conflicting read: same set, different tag.
+    ASSERT_TRUE(c.access(0, 0, true).has_value());
+    auto r = c.access(100, 64 * 1024, false);
+    ASSERT_TRUE(r.has_value());
+    // Writeback occupies the link 100..102; the fill's service slot
+    // is 102..104 and pays the 40-cycle latency once: done 144.
+    // Pre-fix code subtracted the latency from the writeback instead,
+    // yielding 146.
+    EXPECT_EQ(*r, 144u);
+    EXPECT_EQ(c.writebacks(), 1u);
+    // Initial fill, victim flush, and new fill each moved a line.
+    EXPECT_EQ(q.bytesMoved(), 3u * 64u);
+}
+
+TEST(CacheTiming, WritebackDoesNotRoundTheFillStart)
+{
+    // Fractional service (64 B / 25.6 B-per-cycle = 2.5 cycles)
+    // exposes the old writeback hack, which derived the fill's issue
+    // cycle from the writeback's *rounded* completion instead of
+    // letting the link queue serialize them: it rounded the fill's
+    // start up to a whole cycle and finished at 146, not 145.
+    QpiChannel q({25.6, 40});
+    Cache c({64 * 1024, 64, 14, 32, false}, q);
+    ASSERT_TRUE(c.access(0, 0, true).has_value());
+    auto r = c.access(100, 64 * 1024, false);
+    ASSERT_TRUE(r.has_value());
+    // Writeback service 100..102.5, fill service 102.5..105, fill
+    // completes ceil(102.5 + 2.5 + 40) = 145.
+    EXPECT_EQ(*r, 145u);
+}
+
+TEST(CacheTiming, PrefetchedLineIsNotHittableBeforeFill)
+{
+    QpiChannel q({32.0, 40});
+    Cache c({64 * 1024, 64, 14, 32, true}, q);
+
+    // Demand miss of line 0 issues the next-line prefetch of line 1:
+    // its service slot queues behind the demand fill (2..4), so the
+    // prefetched data arrives at cycle 44.
+    auto demand = c.access(0, 0, false);
+    ASSERT_TRUE(demand.has_value());
+    EXPECT_EQ(*demand, 42u);
+    EXPECT_EQ(c.prefetches(), 1u);
+
+    // A demand access one cycle later must ride the in-flight fill,
+    // not hit: 44 (fill) + 14 (hit latency) = 58. Pre-fix code
+    // treated the line as resident and returned 1 + 14 = 15.
+    auto early = c.access(1, 64, false);
+    ASSERT_TRUE(early.has_value());
+    EXPECT_EQ(*early, 58u);
+    EXPECT_EQ(c.hits(), 0u);
+    EXPECT_EQ(c.missUnderFills(), 1u);
+    // No extra QPI traffic and no MSHR: the access joined the
+    // existing fill.
+    EXPECT_EQ(q.transfers(), 2u);
+
+    // Once the fill lands the line hits normally.
+    auto late = c.access(44, 64, false);
+    ASSERT_TRUE(late.has_value());
+    EXPECT_EQ(*late, 44u + 14u);
+    EXPECT_EQ(c.hits(), 1u);
+}
+
+TEST(CacheTiming, MissUnderFillOnDemandMiss)
+{
+    QpiChannel q({32.0, 40});
+    Cache c({64 * 1024, 64, 14, 32, false}, q);
+
+    auto first = c.access(0, 0, false);
+    ASSERT_TRUE(first.has_value());
+    EXPECT_EQ(*first, 42u);
+    // Same line, before the fill arrives: same completion basis.
+    auto second = c.access(10, 8, false);
+    ASSERT_TRUE(second.has_value());
+    EXPECT_EQ(*second, 42u + 14u);
+    EXPECT_EQ(c.misses(), 1u);
+    EXPECT_EQ(c.missUnderFills(), 1u);
+    // A write riding the fill still dirties the line.
+    ASSERT_TRUE(c.access(20, 16, true).has_value());
+    auto conflict = c.access(1000, 64 * 1024, false);
+    ASSERT_TRUE(conflict.has_value());
+    EXPECT_EQ(c.writebacks(), 1u);
+}
+
+TEST(QpiTiming, TracerRecordsBusyIntervals)
+{
+    std::ostringstream os;
+    {
+        ChromeTracer tracer(os);
+        QpiChannel q({32.0, 40});
+        q.attachTracer(&tracer);
+        q.transfer(100, 64);
+        q.transfer(100, 64); // queued: service starts at 102
+    }
+    JsonValue doc = JsonValue::parse(os.str());
+    const JsonValue &events = doc.at("traceEvents");
+    std::vector<double> starts;
+    for (size_t i = 0; i < events.size(); ++i)
+        if (events.at(i).at("ph").asString() == "X")
+            starts.push_back(events.at(i).at("ts").asNumber());
+    // Two busy intervals of 2 cycles each, back to back on the link.
+    ASSERT_EQ(starts.size(), 2u);
+    EXPECT_EQ(starts[0], 100.0);
+    EXPECT_EQ(starts[1], 102.0);
+}
+
+TEST(CacheTiming, MshrRejectAndReclaimBoundary)
+{
+    QpiChannel q({32.0, 40});
+    Cache c({64 * 1024, 64, 14, 1, false}, q);
+
+    // One MSHR: the first miss occupies it until its fill at 42.
+    auto first = c.access(0, 0, false);
+    ASSERT_TRUE(first.has_value());
+    EXPECT_EQ(*first, 42u);
+
+    // A different line one cycle before the fill completes: no MSHR.
+    EXPECT_FALSE(c.access(41, 64, false).has_value());
+    EXPECT_EQ(c.mshrRejects(), 1u);
+
+    // At exactly the completion cycle the MSHR is reclaimable.
+    auto second = c.access(42, 64, false);
+    ASSERT_TRUE(second.has_value());
+    // Link went idle at 2, so the fill restarts the clock: 42+2+40.
+    EXPECT_EQ(*second, 84u);
+    EXPECT_EQ(c.mshrRejects(), 1u);
+    EXPECT_EQ(c.misses(), 2u);
+}
+
+} // namespace
+} // namespace apir

@@ -1,16 +1,21 @@
 /**
  * @file
  * Unit tests of the support module: RNG determinism and distribution,
- * statistics containers, string/table helpers.
+ * statistics containers, string/table helpers, JSON model, statistics
+ * registry, and the Chrome trace writer.
  */
 
 #include <gtest/gtest.h>
 
 #include <set>
+#include <sstream>
 
+#include "support/json.hh"
 #include "support/random.hh"
 #include "support/stats.hh"
+#include "support/stats_registry.hh"
 #include "support/str.hh"
+#include "support/trace.hh"
 
 namespace apir {
 namespace {
@@ -179,6 +184,159 @@ TEST(TextTable, RendersAlignedRows)
     EXPECT_NE(s.find("name"), std::string::npos);
     EXPECT_NE(s.find("longer"), std::string::npos);
     EXPECT_NE(s.find("----"), std::string::npos);
+}
+
+TEST(Json, BuildDumpParseRoundTrip)
+{
+    JsonValue obj = JsonValue::object();
+    obj.set("name", JsonValue::str("cache"));
+    obj.set("hits", JsonValue::number(42));
+    obj.set("rate", JsonValue::number(0.75));
+    obj.set("on", JsonValue::boolean(true));
+    obj.set("nothing", JsonValue());
+    JsonValue arr = JsonValue::array();
+    arr.push(JsonValue::number(1));
+    arr.push(JsonValue::number(2));
+    obj.set("xs", std::move(arr));
+
+    for (bool pretty : {false, true}) {
+        JsonValue back = JsonValue::parse(obj.dump(pretty));
+        EXPECT_EQ(back.at("name").asString(), "cache");
+        EXPECT_EQ(back.at("hits").asNumber(), 42.0);
+        EXPECT_DOUBLE_EQ(back.at("rate").asNumber(), 0.75);
+        EXPECT_TRUE(back.at("on").asBool());
+        EXPECT_TRUE(back.at("nothing").isNull());
+        ASSERT_EQ(back.at("xs").size(), 2u);
+        EXPECT_EQ(back.at("xs").at(1).asNumber(), 2.0);
+    }
+}
+
+TEST(Json, IntegersPrintExactly)
+{
+    JsonValue v = JsonValue::number(1e15 + 1);
+    EXPECT_EQ(v.dump(), "1000000000000001");
+    EXPECT_EQ(JsonValue::number(-7).dump(), "-7");
+}
+
+TEST(Json, EscapesControlAndQuoteCharacters)
+{
+    JsonValue v = JsonValue::str("a\"b\\c\n\t");
+    JsonValue back = JsonValue::parse(v.dump());
+    EXPECT_EQ(back.asString(), "a\"b\\c\n\t");
+}
+
+TEST(Json, ParseRejectsMalformedInput)
+{
+    EXPECT_THROW(JsonValue::parse("{"), std::runtime_error);
+    EXPECT_THROW(JsonValue::parse("[1,]"), std::runtime_error);
+    EXPECT_THROW(JsonValue::parse("{\"a\":1} x"), std::runtime_error);
+    EXPECT_THROW(JsonValue::parse(""), std::runtime_error);
+}
+
+TEST(StatRegistry, TypedStatsSnapshotAndValue)
+{
+    Counter hits;
+    Average depth;
+    Histogram occ(4, 2.0);
+    StatRegistry reg;
+    reg.addCounter("cache", "hits", hits);
+    reg.addAverage("queue", "depth", depth);
+    reg.addHistogram("queue", "occupancy", occ);
+    reg.addValue("queue", "banks", [] { return 4.0; });
+
+    ++hits;
+    ++hits;
+    depth.sample(1.0);
+    depth.sample(3.0);
+    occ.sample(1.0);
+    occ.sample(5.0);
+
+    // The registry reads the live objects, not copies.
+    EXPECT_EQ(reg.size(), 4u);
+    EXPECT_EQ(reg.value("cache", "hits"), 2.0);
+    EXPECT_EQ(reg.value("queue", "depth"), 2.0);     // mean
+    EXPECT_EQ(reg.value("queue", "occupancy"), 2.0); // total samples
+    EXPECT_EQ(reg.value("queue", "banks"), 4.0);
+    EXPECT_TRUE(reg.has("queue", "banks"));
+    EXPECT_FALSE(reg.has("queue", "hits"));
+
+    auto groups = reg.snapshot();
+    ASSERT_EQ(groups.size(), 2u);
+    EXPECT_EQ(groups[0].name(), "cache");
+    EXPECT_EQ(groups[0].get("hits"), 2.0);
+    EXPECT_EQ(groups[1].get("depth.max"), 3.0);
+}
+
+TEST(StatRegistry, JsonSerializationCarriesStructure)
+{
+    Counter c;
+    Histogram h(2, 1.0);
+    StatRegistry reg;
+    reg.addCounter("mem", "cache_hits", c);
+    reg.addHistogram("q", "occupancy", h);
+    ++c;
+    h.sample(0.5);
+    h.sample(1.5);
+
+    JsonValue j = JsonValue::parse(reg.toJson().dump(true));
+    EXPECT_EQ(j.at("mem").at("cache_hits").asNumber(), 1.0);
+    const JsonValue &occ = j.at("q").at("occupancy");
+    EXPECT_EQ(occ.at("total").asNumber(), 2.0);
+    ASSERT_EQ(occ.at("buckets").size(), 2u);
+    EXPECT_EQ(occ.at("buckets").at(0).asNumber(), 1.0);
+}
+
+TEST(ChromeTracer, EmitsValidJsonWithTrackMetadata)
+{
+    std::ostringstream os;
+    {
+        ChromeTracer t(os);
+        t.completeEvent("stage", "Alu", 10, 1);
+        t.counterEvent("queue", "depth", 11, 3.0);
+        t.instantEvent("host", "inject", 12);
+    }
+    JsonValue doc = JsonValue::parse(os.str());
+    const JsonValue &events = doc.at("traceEvents");
+    // 3 events + one thread_name metadata record per distinct track.
+    ASSERT_EQ(events.size(), 6u);
+    size_t meta = 0, complete = 0;
+    for (size_t i = 0; i < events.size(); ++i) {
+        const std::string &ph = events.at(i).at("ph").asString();
+        if (ph == "M")
+            ++meta;
+        if (ph == "X") {
+            ++complete;
+            EXPECT_EQ(events.at(i).at("ts").asNumber(), 10.0);
+            EXPECT_EQ(events.at(i).at("dur").asNumber(), 1.0);
+        }
+    }
+    EXPECT_EQ(meta, 3u);
+    EXPECT_EQ(complete, 1u);
+}
+
+TEST(ChromeTracer, WindowFiltersEvents)
+{
+    std::ostringstream os;
+    {
+        ChromeTracer t(os, 100, 200);
+        EXPECT_FALSE(t.active(99));
+        EXPECT_TRUE(t.active(100));
+        EXPECT_FALSE(t.active(200));
+        t.completeEvent("s", "early", 99, 1);  // dropped
+        t.completeEvent("s", "in", 150, 2);    // kept
+        t.completeEvent("s", "late", 200, 1);  // dropped
+        EXPECT_EQ(t.events(), 1u);
+    }
+    JsonValue doc = JsonValue::parse(os.str());
+    bool saw_in = false;
+    const JsonValue &events = doc.at("traceEvents");
+    for (size_t i = 0; i < events.size(); ++i) {
+        const std::string &name = events.at(i).at("name").asString();
+        EXPECT_NE(name, "early");
+        EXPECT_NE(name, "late");
+        saw_in |= name == "in";
+    }
+    EXPECT_TRUE(saw_in);
 }
 
 } // namespace
