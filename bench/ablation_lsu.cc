@@ -25,14 +25,22 @@ main(int argc, char **argv)
     TextTable table({"benchmark", "ooo(s)", "in-order(s)", "ooo speedup",
                      "ooo util", "in-order util"});
     JsonValue runs = JsonValue::array();
+    std::vector<SweepJob> jobs;
     for (Bench b : kAllBenches) {
         AccelConfig ooo = defaultAccelConfig();
         ooo.lsuInOrder = false;
-        AccelRun r_ooo = runAccelerator(b, w, ooo, false);
+        jobs.push_back({b, ooo, false});
 
         AccelConfig ino = defaultAccelConfig();
         ino.lsuInOrder = true;
-        AccelRun r_ino = runAccelerator(b, w, ino, false);
+        jobs.push_back({b, ino, false});
+    }
+    std::vector<AccelRun> sweep = runSweep(jobs, w, opt.threads);
+
+    size_t next = 0;
+    for (Bench b : kAllBenches) {
+        const AccelRun &r_ooo = sweep[next++];
+        const AccelRun &r_ino = sweep[next++];
 
         table.addRow({benchName(b), strprintf("%.4f", r_ooo.seconds),
                       strprintf("%.4f", r_ino.seconds),

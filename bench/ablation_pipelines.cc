@@ -22,15 +22,24 @@ main(int argc, char **argv)
     const uint32_t pipes[] = {1, 2, 4, 8};
 
     std::printf("=== Ablation D: pipeline replicas per task set ===\n\n");
+    std::vector<SweepJob> jobs;
+    for (Bench b : kAllBenches) {
+        for (uint32_t np : pipes) {
+            AccelConfig cfg = defaultAccelConfig();
+            cfg.pipelinesPerSet = np;
+            jobs.push_back({b, cfg, false});
+        }
+    }
+    std::vector<AccelRun> sweep = runSweep(jobs, w, opt.threads);
+
     JsonValue runs = JsonValue::array();
+    size_t next = 0;
     for (Bench b : kAllBenches) {
         TextTable table({"pipes/set", "sim(s)", "speedup vs 1",
                          "utilization"});
         double base = 0.0;
         for (uint32_t np : pipes) {
-            AccelConfig cfg = defaultAccelConfig();
-            cfg.pipelinesPerSet = np;
-            AccelRun run = runAccelerator(b, w, cfg, false);
+            const AccelRun &run = sweep[next++];
             if (np == 1)
                 base = run.seconds;
             JsonValue j = runToJson(run);

@@ -29,13 +29,20 @@ main(int argc, char **argv)
     TextTable table({"benchmark", "base(s)", "prefetch(s)", "speedup",
                      "prefetches", "base hit%", "pf hit%"});
     JsonValue runs = JsonValue::array();
+    std::vector<SweepJob> jobs;
     for (Bench b : kAllBenches) {
-        AccelConfig base_cfg = defaultAccelConfig();
-        AccelRun base = runAccelerator(b, w, base_cfg, false);
+        jobs.push_back({b, defaultAccelConfig(), false});
 
         AccelConfig pf_cfg = defaultAccelConfig();
         pf_cfg.mem.cache.prefetchNextLine = true;
-        AccelRun pf = runAccelerator(b, w, pf_cfg, false);
+        jobs.push_back({b, pf_cfg, false});
+    }
+    std::vector<AccelRun> sweep = runSweep(jobs, w, opt.threads);
+
+    size_t next = 0;
+    for (Bench b : kAllBenches) {
+        const AccelRun &base = sweep[next++];
+        const AccelRun &pf = sweep[next++];
 
         auto hit_rate = [](const AccelRun &r) {
             for (const StatGroup &g : r.rr.groups) {

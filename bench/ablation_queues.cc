@@ -22,15 +22,24 @@ main(int argc, char **argv)
 
     std::printf("=== Ablation B: task-queue banks (wavefront allocator "
                 "fan-out) ===\n\n");
+    std::vector<SweepJob> jobs;
+    for (Bench b : {Bench::SpecBfs, Bench::SpecSssp, Bench::SpecDmr}) {
+        for (uint32_t nb : banks) {
+            AccelConfig cfg = defaultAccelConfig();
+            cfg.queueBanks = nb;
+            jobs.push_back({b, cfg, false});
+        }
+    }
+    std::vector<AccelRun> sweep = runSweep(jobs, w, opt.threads);
+
     JsonValue runs = JsonValue::array();
+    size_t next = 0;
     for (Bench b : {Bench::SpecBfs, Bench::SpecSssp, Bench::SpecDmr}) {
         TextTable table({"banks", "sim(s)", "speedup vs 1 bank",
                          "utilization"});
         double base = 0.0;
         for (uint32_t nb : banks) {
-            AccelConfig cfg = defaultAccelConfig();
-            cfg.queueBanks = nb;
-            AccelRun run = runAccelerator(b, w, cfg, false);
+            const AccelRun &run = sweep[next++];
             if (nb == 1)
                 base = run.seconds;
             JsonValue j = runToJson(run);

@@ -25,16 +25,25 @@ main(int argc, char **argv)
 
     std::printf("=== Ablation C: rule-engine lanes (speculation depth) "
                 "===\n\n");
+    std::vector<SweepJob> jobs;
+    for (Bench b : {Bench::SpecBfs, Bench::SpecMst, Bench::CoorLu}) {
+        for (uint32_t nl : lanes) {
+            AccelConfig cfg = defaultAccelConfig();
+            cfg.ruleLanes = nl;
+            cfg.rendezvousEntries = nl;
+            jobs.push_back({b, cfg, false});
+        }
+    }
+    std::vector<AccelRun> sweep = runSweep(jobs, w, opt.threads);
+
     JsonValue runs = JsonValue::array();
+    size_t next = 0;
     for (Bench b : {Bench::SpecBfs, Bench::SpecMst, Bench::CoorLu}) {
         TextTable table({"lanes", "sim(s)", "speedup vs 2",
                          "alloc-fails", "squashed"});
         double base = 0.0;
         for (uint32_t nl : lanes) {
-            AccelConfig cfg = defaultAccelConfig();
-            cfg.ruleLanes = nl;
-            cfg.rendezvousEntries = nl;
-            AccelRun run = runAccelerator(b, w, cfg, false);
+            const AccelRun &run = sweep[next++];
             if (nl == 2)
                 base = run.seconds;
             double alloc_fails = 0.0;

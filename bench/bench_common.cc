@@ -6,22 +6,46 @@
 #include <fstream>
 
 #include "support/logging.hh"
+#include "support/thread_pool.hh"
 
 namespace apir {
 namespace bench {
+
+namespace {
+
+const char kUsage[] =
+    "supported flags: --scale <f>  --stats-json <path>  --threads <n>";
+
+/** The (required) value of flag argv[i]; fatal when it is missing. */
+const char *
+flagValue(int argc, char **argv, int i)
+{
+    if (i + 1 >= argc)
+        fatal(argv[i], " requires a value; ", kUsage);
+    return argv[i + 1];
+}
+
+} // namespace
 
 Options
 parseOptions(int argc, char **argv)
 {
     Options opt;
     for (int i = 1; i < argc; ++i) {
-        if (std::strcmp(argv[i], "--scale") == 0 && i + 1 < argc) {
-            opt.scale = std::atof(argv[++i]);
+        if (std::strcmp(argv[i], "--scale") == 0) {
+            opt.scale = std::atof(flagValue(argc, argv, i++));
             if (opt.scale <= 0.0)
                 fatal("--scale must be positive");
-        } else if (std::strcmp(argv[i], "--stats-json") == 0 &&
-                   i + 1 < argc) {
-            opt.statsJson = argv[++i];
+        } else if (std::strcmp(argv[i], "--stats-json") == 0) {
+            opt.statsJson = flagValue(argc, argv, i++);
+        } else if (std::strcmp(argv[i], "--threads") == 0) {
+            long n = std::atol(flagValue(argc, argv, i++));
+            if (n < 1)
+                fatal("--threads must be >= 1");
+            opt.threads = static_cast<unsigned>(n);
+        } else {
+            // A typo like --stat-json must not silently drop output.
+            fatal("unknown argument '", argv[i], "'; ", kUsage);
         }
     }
     return opt;
@@ -260,6 +284,29 @@ runAccelerator(Bench b, const Workloads &w, AccelConfig cfg, bool verify)
     }
     out.seconds = out.rr.seconds;
     return out;
+}
+
+std::vector<AccelRun>
+runSweep(const std::vector<SweepJob> &jobs, const Workloads &w,
+         unsigned threads)
+{
+    if (threads == 0)
+        threads = ThreadPool::hardwareThreads();
+    if (threads > 1) {
+        // Trace sinks are plain ostreams/tracers with no locking; a
+        // shared sink across concurrent runs would interleave noise.
+        for (const SweepJob &j : jobs)
+            if (j.cfg.trace || j.cfg.tracer)
+                fatal("runSweep: jobs with trace hooks require "
+                      "--threads 1");
+    }
+    setQuietLogging(true);
+    std::vector<AccelRun> results(jobs.size());
+    parallelForEach(jobs.size(), threads, [&](size_t i) {
+        results[i] = runAccelerator(jobs[i].bench, w, jobs[i].cfg,
+                                    jobs[i].verify);
+    });
+    return results;
 }
 
 } // namespace bench

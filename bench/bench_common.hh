@@ -11,6 +11,7 @@
 #include <chrono>
 #include <functional>
 #include <string>
+#include <vector>
 
 #include "apps/bfs.hh"
 #include "apps/dmr.hh"
@@ -31,8 +32,14 @@ struct Options
 {
     double scale = 1.0;    //!< workload size multiplier
     std::string statsJson; //!< --stats-json: structured-results path
+    unsigned threads = 0;  //!< --threads: sweep workers (0 = all cores)
 };
 
+/**
+ * Parse the shared bench flags (--scale, --stats-json, --threads).
+ * Unknown or malformed arguments are fatal — a typoed flag must not
+ * silently drop output.
+ */
 Options parseOptions(int argc, char **argv);
 
 /** Wall-clock seconds of fn (best of `reps`). */
@@ -79,6 +86,25 @@ const char *benchName(Bench b);
  */
 AccelRun runAccelerator(Bench b, const Workloads &w, AccelConfig cfg,
                         bool verify = false);
+
+/** One independent simulation in a sweep. */
+struct SweepJob
+{
+    Bench bench = Bench::SpecBfs;
+    AccelConfig cfg;
+    bool verify = false;
+};
+
+/**
+ * Run every job (each an independent runAccelerator call owning its
+ * own MemorySystem, Accelerator, and StatRegistry) on up to `threads`
+ * workers (0 = hardware concurrency) and return results in submission
+ * order. Results are bit-identical to a serial run regardless of the
+ * thread count. Jobs may not carry trace hooks (cfg.trace /
+ * cfg.tracer) when threads > 1: those sinks are not synchronized.
+ */
+std::vector<AccelRun> runSweep(const std::vector<SweepJob> &jobs,
+                               const Workloads &w, unsigned threads);
 
 /** Default accelerator configuration used by the benches. */
 AccelConfig defaultAccelConfig();

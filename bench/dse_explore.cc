@@ -71,12 +71,21 @@ main(int argc, char **argv)
     options.ruleLanes = {8, 16, 32, 64};
     options.queueBanks = {1, 2, 4};
     options.lsuEntries = {4, 8, 16};
+    options.threads = opt.threads; // 0 = hardware concurrency
 
+    // The six hand-picked baselines are themselves an independent
+    // sweep; fan them out before the per-benchmark explorations.
+    std::vector<SweepJob> baseJobs;
+    for (Bench b : kAllBenches)
+        baseJobs.push_back({b, defaultAccelConfig(), false});
+    std::vector<AccelRun> defaults = runSweep(baseJobs, w, opt.threads);
+
+    size_t next = 0;
     for (Bench b : kAllBenches) {
         MemorySystem scratch;
         AcceleratorSpec spec = specFor(b, w, scratch);
         AccelConfig base = defaultAccelConfig();
-        AccelRun dflt = runAccelerator(b, w, base, false);
+        const AccelRun &dflt = defaults[next++];
 
         DseResult res =
             exploreDesignSpace(spec, base, runnerFor(b, w), options);

@@ -31,15 +31,24 @@ main(int argc, char **argv)
     std::printf("=== Figure 10: speedup (over x1 QPI) and pipeline "
                 "utilization vs QPI bandwidth ===\n\n");
 
+    std::vector<SweepJob> jobs;
+    for (Bench b : kAllBenches) {
+        for (double s : scales) {
+            AccelConfig cfg = defaultAccelConfig();
+            cfg.mem.bandwidthScale = s;
+            jobs.push_back({b, cfg, false});
+        }
+    }
+    std::vector<AccelRun> sweep = runSweep(jobs, w, opt.threads);
+
     JsonValue runs = JsonValue::array();
+    size_t next = 0;
     for (Bench b : kAllBenches) {
         TextTable table({"qpi-bw", "GB/s", "sim(s)", "speedup",
                          "utilization", "squashed"});
         double base_seconds = 0.0;
         for (double s : scales) {
-            AccelConfig cfg = defaultAccelConfig();
-            cfg.mem.bandwidthScale = s;
-            AccelRun run = runAccelerator(b, w, cfg, false);
+            const AccelRun &run = sweep[next++];
             if (s == 1.0)
                 base_seconds = run.seconds;
             JsonValue j = runToJson(run);

@@ -79,9 +79,15 @@ main(int argc, char **argv)
                      "util", "squash"});
 
     double min_s1 = 1e30, max_s1 = 0.0, min_s10 = 1e30, max_s10 = 0.0;
+    std::vector<SweepJob> jobs;
+    for (Bench b : kAllBenches)
+        jobs.push_back({b, defaultAccelConfig(), true});
+    std::vector<AccelRun> sweep = runSweep(jobs, w, opt.threads);
+
     JsonValue runs = JsonValue::array();
-    for (Bench b : kAllBenches) {
-        AccelRun run = runAccelerator(b, w, defaultAccelConfig(), true);
+    for (size_t i = 0; i < jobs.size(); ++i) {
+        Bench b = jobs[i].bench;
+        const AccelRun &run = sweep[i];
         double t1 = xeonTime(run.work, xeon, 1);
         double t10 = xeonTime(run.work, xeon, 10);
         double native = nativeSequentialSeconds(b, w);

@@ -1,40 +1,16 @@
 #include "dse/explorer.hh"
 
 #include <algorithm>
+#include <array>
+#include <map>
 
 #include "support/logging.hh"
 #include "support/str.hh"
+#include "support/thread_pool.hh"
 
 namespace apir {
 
 namespace {
-
-/** Evaluate one candidate (prune by resources, else simulate). */
-DsePoint
-evaluate(const AcceleratorSpec &spec, AccelConfig cfg,
-         const DseRunner &runner, const DseOptions &opt,
-         DseResult &result)
-{
-    DsePoint p;
-    p.cfg = cfg;
-    p.resources = estimateResources(spec, cfg);
-    Resources t = p.resources.total();
-    p.fits = t.registers <= opt.device.registers &&
-             t.alms <= opt.device.alms &&
-             t.bramBits <= opt.device.bramBits;
-    if (!p.fits) {
-        ++result.pruned;
-        return p;
-    }
-    if (result.evaluations >= opt.maxEvaluations)
-        return p; // budget exhausted: fitting but unevaluated
-    auto [seconds, util] = runner(cfg);
-    p.evaluated = true;
-    p.seconds = seconds;
-    p.utilization = util;
-    ++result.evaluations;
-    return p;
-}
 
 /** Is a strictly better than b? (both must be evaluated). */
 bool
@@ -46,6 +22,9 @@ better(const DsePoint &a, const DsePoint &b)
         return true;
     return a.seconds < b.seconds;
 }
+
+/** Index into each swept dimension — the memoization key. */
+using Knobs = std::array<size_t, 4>;
 
 } // namespace
 
@@ -61,62 +40,127 @@ exploreDesignSpace(const AcceleratorSpec &spec, const AccelConfig &base,
     auto lanes = values_or(options.ruleLanes, base.ruleLanes);
     auto banks = values_or(options.queueBanks, base.queueBanks);
     auto lsus = values_or(options.lsuEntries, base.lsuEntries);
+    const Knobs limits{pipes.size(), lanes.size(), banks.size(),
+                       lsus.size()};
 
-    auto with = [&](uint32_t p, uint32_t l, uint32_t b, uint32_t e) {
+    auto with = [&](const Knobs &at) {
         AccelConfig cfg = base;
-        cfg.pipelinesPerSet = p;
-        cfg.ruleLanes = l;
-        cfg.rendezvousEntries = std::max(cfg.rendezvousEntries, l);
-        cfg.queueBanks = b;
-        cfg.lsuEntries = e;
+        cfg.pipelinesPerSet = pipes[at[0]];
+        cfg.ruleLanes = lanes[at[1]];
+        cfg.rendezvousEntries =
+            std::max(cfg.rendezvousEntries, lanes[at[1]]);
+        cfg.queueBanks = banks[at[2]];
+        cfg.lsuEntries = lsus[at[3]];
         return cfg;
     };
 
+    // Each distinct configuration becomes exactly one point: visiting
+    // it again (greedy re-probes a neighbor of a revisited ridge)
+    // returns the memoized index instead of re-estimating resources —
+    // and, below, instead of re-charging the simulation budget.
+    std::map<Knobs, size_t> visited;
+    auto pointAt = [&](const Knobs &at) {
+        auto it = visited.find(at);
+        if (it != visited.end())
+            return it->second;
+        DsePoint p;
+        p.cfg = with(at);
+        p.resources = estimateResources(spec, p.cfg);
+        Resources t = p.resources.total();
+        p.fits = t.registers <= options.device.registers &&
+                 t.alms <= options.device.alms &&
+                 t.bramBits <= options.device.bramBits;
+        if (!p.fits)
+            ++result.pruned;
+        result.points.push_back(std::move(p));
+        visited.emplace(at, result.points.size() - 1);
+        return result.points.size() - 1;
+    };
+
+    // Simulate the fitting, not-yet-evaluated points among `idx`,
+    // fanning the runner calls out on options.threads workers.
+    // Budget admission happens serially in submission order, so WHICH
+    // points get evaluated never depends on the thread count — only
+    // how their simulations overlap in time.
+    auto evaluateBatch = [&](const std::vector<size_t> &idx) {
+        std::vector<size_t> todo;
+        for (size_t i : idx) {
+            const DsePoint &p = result.points[i];
+            if (!p.fits || p.evaluated)
+                continue;
+            if (std::find(todo.begin(), todo.end(), i) != todo.end())
+                continue;
+            if (result.evaluations + todo.size() >=
+                options.maxEvaluations)
+                break; // budget exhausted: fitting but unevaluated
+            todo.push_back(i);
+        }
+        parallelForEach(todo.size(), options.threads, [&](size_t k) {
+            DsePoint &p = result.points[todo[k]];
+            auto [seconds, util] = runner(p.cfg);
+            p.evaluated = true;
+            p.seconds = seconds;
+            p.utilization = util;
+        });
+        result.evaluations += static_cast<uint32_t>(todo.size());
+    };
+
     if (!options.greedy) {
-        for (uint32_t p : pipes)
-            for (uint32_t l : lanes)
-                for (uint32_t b : banks)
-                    for (uint32_t e : lsus)
-                        result.points.push_back(evaluate(
-                            spec, with(p, l, b, e), runner, options,
-                            result));
+        // Exhaustive: materialize the full product, prune by the
+        // resource model, fan every survivor out at once.
+        std::vector<size_t> all;
+        for (size_t a = 0; a < limits[0]; ++a)
+            for (size_t b = 0; b < limits[1]; ++b)
+                for (size_t c = 0; c < limits[2]; ++c)
+                    for (size_t d = 0; d < limits[3]; ++d)
+                        all.push_back(pointAt({a, b, c, d}));
+        evaluateBatch(all);
     } else {
-        // Coordinate descent from the middle of each dimension.
-        size_t ip = pipes.size() / 2, il = lanes.size() / 2,
-               ib = banks.size() / 2, ie = lsus.size() / 2;
-        auto eval_at = [&](size_t a, size_t b2, size_t c, size_t d) {
-            result.points.push_back(
-                evaluate(spec, with(pipes[a], lanes[b2], banks[c],
-                                    lsus[d]),
-                         runner, options, result));
-            return result.points.size() - 1;
-        };
-        size_t cur = eval_at(ip, il, ib, ie);
+        // Batch-synchronous coordinate descent from the middle of
+        // each dimension: every round evaluates the current point's
+        // ±1 neighbors concurrently, then moves to the best strictly
+        // improving one (ties broken by the fixed probe order), so
+        // the trajectory is identical at any thread count.
+        Knobs at{pipes.size() / 2, lanes.size() / 2, banks.size() / 2,
+                 lsus.size() / 2};
+        size_t cur = pointAt(at);
+        evaluateBatch({cur});
         bool improved = true;
-        int rounds = 0;
-        while (improved && ++rounds < 8) {
+        // Each round moves at most one step, and the walk never
+        // revisits a worse point; the rounds cap is a safety valve
+        // sized to cross any of the (short) knob dimensions.
+        for (int round = 0; improved && round < 64; ++round) {
             improved = false;
-            auto try_dim = [&](size_t *idx, size_t limit, int dir,
-                               auto make) {
-                long next = static_cast<long>(*idx) + dir;
-                if (next < 0 || next >= static_cast<long>(limit))
-                    return;
-                size_t save = *idx;
-                *idx = static_cast<size_t>(next);
-                size_t cand = make();
-                if (better(result.points[cand], result.points[cur])) {
-                    cur = cand;
-                    improved = true;
-                } else {
-                    *idx = save;
+            std::vector<std::pair<Knobs, size_t>> probes;
+            std::vector<size_t> batch;
+            for (size_t dim = 0; dim < at.size(); ++dim) {
+                for (int dir : {+1, -1}) {
+                    long next = static_cast<long>(at[dim]) + dir;
+                    if (next < 0 ||
+                        next >= static_cast<long>(limits[dim]))
+                        continue;
+                    Knobs nat = at;
+                    nat[dim] = static_cast<size_t>(next);
+                    size_t i = pointAt(nat);
+                    probes.emplace_back(nat, i);
+                    batch.push_back(i);
                 }
-            };
-            auto mk = [&] { return eval_at(ip, il, ib, ie); };
-            for (int dir : {+1, -1}) {
-                try_dim(&ip, pipes.size(), dir, mk);
-                try_dim(&il, lanes.size(), dir, mk);
-                try_dim(&ib, banks.size(), dir, mk);
-                try_dim(&ie, lsus.size(), dir, mk);
+            }
+            evaluateBatch(batch);
+            constexpr size_t npos = static_cast<size_t>(-1);
+            size_t bestProbe = npos;
+            for (size_t k = 0; k < probes.size(); ++k) {
+                const DsePoint &p = result.points[probes[k].second];
+                if (!better(p, result.points[cur]))
+                    continue;
+                if (bestProbe == npos ||
+                    better(p, result.points[probes[bestProbe].second]))
+                    bestProbe = k;
+            }
+            if (bestProbe != npos) {
+                at = probes[bestProbe].first;
+                cur = probes[bestProbe].second;
+                improved = true;
             }
         }
     }

@@ -50,14 +50,29 @@ struct DseOptions
     bool greedy = false;
     /** Upper bound on simulator evaluations (safety valve). */
     uint32_t maxEvaluations = 256;
+    /**
+     * Workers for concurrent runner calls (1 = serial, 0 = hardware
+     * concurrency). Exhaustive mode fans the whole surviving product
+     * out; greedy mode fans out each round's ±1 neighbor probes. The
+     * explored points, evaluation count, and winner are identical at
+     * any thread count; the runner must therefore be safe to call
+     * concurrently (each call owning its own simulator state).
+     */
+    uint32_t threads = 1;
 };
 
 /** Exploration result: every point visited plus the winner. */
 struct DseResult
 {
+    /**
+     * Every distinct configuration visited, in first-visit order.
+     * Configurations are memoized by their swept-knob values, so a
+     * greedy walk that re-probes an already-visited neighbor neither
+     * duplicates the point nor re-runs the simulator.
+     */
     std::vector<DsePoint> points;
     size_t bestIndex = 0; //!< into points; fastest fitting evaluated
-    uint32_t evaluations = 0;
+    uint32_t evaluations = 0; //!< simulator runs (one per point, max)
     uint32_t pruned = 0; //!< rejected by the resource model
 
     const DsePoint &best() const { return points.at(bestIndex); }

@@ -9,11 +9,43 @@
 
 namespace apir {
 
+namespace {
+
+/**
+ * Reject configurations the model cannot simulate before any unit is
+ * built. In particular a host-fed config (hostBatch > 0) with
+ * hostInterval == 0 would make hostTick() divide by zero (a SIGFPE),
+ * and zero-sized structural knobs would build an accelerator with no
+ * pipelines, lanes, or buffering that can only deadlock.
+ */
+void
+validateConfig(const AccelConfig &cfg)
+{
+    auto require = [](bool ok, const char *what) {
+        if (!ok)
+            fatal("invalid AccelConfig: ", what);
+    };
+    require(cfg.pipelinesPerSet > 0, "pipelinesPerSet must be >= 1");
+    require(cfg.ruleLanes > 0, "ruleLanes must be >= 1");
+    require(cfg.queueBanks > 0, "queueBanks must be >= 1");
+    require(cfg.queueBankCapacity > 0, "queueBankCapacity must be >= 1");
+    require(cfg.lsuEntries > 0, "lsuEntries must be >= 1");
+    require(cfg.fifoDepth > 0, "fifoDepth must be >= 1");
+    require(cfg.rendezvousEntries > 0, "rendezvousEntries must be >= 1");
+    require(cfg.clockHz > 0.0, "clockHz must be positive");
+    require(cfg.hostBatch == 0 || cfg.hostInterval > 0,
+            "hostBatch > 0 requires hostInterval >= 1 (host-fed "
+            "injection fires every hostInterval cycles)");
+}
+
+} // namespace
+
 Accelerator::Accelerator(const AcceleratorSpec &spec,
                          const AccelConfig &cfg, MemorySystem &mem)
     : spec_(spec), cfg_(cfg), mem_(mem), tracker_(spec.orderKey)
 {
     spec_.verify();
+    validateConfig(cfg_);
 
     for (const RuleSpec &r : spec_.rules)
         engines_.push_back(std::make_unique<RuleEngine>(r, cfg_.ruleLanes));
@@ -50,31 +82,39 @@ Accelerator::registerStats()
 
     // Busy/stall/idle/token aggregates per primitive-operation kind,
     // the raw material behind the utilization curves of Figure 10.
-    // Registered as computed values so dumps always see live counts.
+    // Registered as computed values so dumps always see live counts;
+    // each kind's member stages are resolved once here so a snapshot
+    // sums index lists instead of string-comparing every stage's kind
+    // on every dump.
     std::vector<std::string> kinds;
-    for (auto &s : stages_) {
-        std::string kind = actorKindName(s->actor().kind);
-        if (std::find(kinds.begin(), kinds.end(), kind) == kinds.end())
+    std::vector<std::vector<size_t>> members;
+    for (size_t i = 0; i < stages_.size(); ++i) {
+        std::string kind = actorKindName(stages_[i]->actor().kind);
+        auto it = std::find(kinds.begin(), kinds.end(), kind);
+        if (it == kinds.end()) {
             kinds.push_back(kind);
+            members.emplace_back();
+            it = kinds.end() - 1;
+        }
+        members[static_cast<size_t>(it - kinds.begin())].push_back(i);
     }
-    auto agg = [this](std::string kind, uint64_t StageStats::*field) {
-        return [this, kind = std::move(kind), field] {
-            uint64_t n = 0;
-            for (const auto &s : stages_)
-                if (kind == actorKindName(s->actor().kind))
-                    n += s->stats().*field;
-            return static_cast<double>(n);
+    for (size_t k = 0; k < kinds.size(); ++k) {
+        auto agg = [this, idx = members[k]](uint64_t StageStats::*field) {
+            return [this, idx, field] {
+                uint64_t n = 0;
+                for (size_t i : idx)
+                    n += stages_[i]->stats().*field;
+                return static_cast<double>(n);
+            };
         };
-    };
-    for (const std::string &kind : kinds) {
-        registry_.addValue("stages", kind + ".busy",
-                           agg(kind, &StageStats::busy));
-        registry_.addValue("stages", kind + ".stall",
-                           agg(kind, &StageStats::stall));
-        registry_.addValue("stages", kind + ".idle",
-                           agg(kind, &StageStats::idle));
-        registry_.addValue("stages", kind + ".tokens",
-                           agg(kind, &StageStats::tokens));
+        registry_.addValue("stages", kinds[k] + ".busy",
+                           agg(&StageStats::busy));
+        registry_.addValue("stages", kinds[k] + ".stall",
+                           agg(&StageStats::stall));
+        registry_.addValue("stages", kinds[k] + ".idle",
+                           agg(&StageStats::idle));
+        registry_.addValue("stages", kinds[k] + ".tokens",
+                           agg(&StageStats::tokens));
     }
 }
 

@@ -1,12 +1,15 @@
 #include "support/logging.hh"
 
+#include <atomic>
 #include <cstdio>
 
 namespace apir {
 
 namespace {
 
-bool quiet = false;
+// Atomic so concurrent simulation jobs (the parallel sweep runner)
+// may consult and set quietness without a data race.
+std::atomic<bool> quiet{false};
 
 const char *
 levelName(LogLevel level)
@@ -25,13 +28,13 @@ levelName(LogLevel level)
 void
 setQuietLogging(bool q)
 {
-    quiet = q;
+    quiet.store(q, std::memory_order_relaxed);
 }
 
 bool
 quietLogging()
 {
-    return quiet;
+    return quiet.load(std::memory_order_relaxed);
 }
 
 namespace detail {
@@ -39,7 +42,8 @@ namespace detail {
 void
 logMessage(LogLevel level, const std::string &msg)
 {
-    if (quiet && (level == LogLevel::Inform || level == LogLevel::Warn))
+    if (quiet.load(std::memory_order_relaxed) &&
+        (level == LogLevel::Inform || level == LogLevel::Warn))
         return;
     std::fprintf(stderr, "%s: %s\n", levelName(level), msg.c_str());
 }

@@ -1,0 +1,107 @@
+#include "support/thread_pool.hh"
+
+#include <algorithm>
+
+#include "support/logging.hh"
+
+namespace apir {
+
+unsigned
+ThreadPool::hardwareThreads()
+{
+    unsigned n = std::thread::hardware_concurrency();
+    return n ? n : 1;
+}
+
+ThreadPool::ThreadPool(unsigned threads)
+    : threads_(threads ? threads : hardwareThreads())
+{
+    // A one-thread pool runs everything in wait() on the caller; only
+    // larger pools pay for workers.
+    if (threads_ > 1)
+        for (unsigned t = 0; t < threads_; ++t)
+            workers_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    wait();
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stopping_ = true;
+    }
+    workReady_.notify_all();
+    for (std::thread &w : workers_)
+        w.join();
+}
+
+void
+ThreadPool::submit(std::function<void()> job)
+{
+    APIR_ASSERT(job, "null job submitted to thread pool");
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        queue_.push_back(std::move(job));
+        ++inFlight_;
+    }
+    workReady_.notify_one();
+}
+
+/** Pop and run one job; the lock is held at entry and re-taken. */
+bool
+ThreadPool::runOne(std::unique_lock<std::mutex> &lock)
+{
+    if (queue_.empty())
+        return false;
+    std::function<void()> job = std::move(queue_.front());
+    queue_.pop_front();
+    lock.unlock();
+    job();
+    lock.lock();
+    if (--inFlight_ == 0)
+        allDone_.notify_all();
+    return true;
+}
+
+void
+ThreadPool::workerLoop()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    for (;;) {
+        workReady_.wait(lock,
+                        [this] { return stopping_ || !queue_.empty(); });
+        if (queue_.empty() && stopping_)
+            return;
+        runOne(lock);
+    }
+}
+
+void
+ThreadPool::wait()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    // Single-thread pools (and callers racing their own workers for
+    // the tail of the queue) drain inline.
+    while (runOne(lock)) {
+    }
+    allDone_.wait(lock, [this] { return inFlight_ == 0; });
+}
+
+void
+parallelForEach(size_t n, unsigned threads,
+                const std::function<void(size_t)> &fn)
+{
+    if (threads == 0)
+        threads = ThreadPool::hardwareThreads();
+    if (threads <= 1 || n <= 1) {
+        for (size_t i = 0; i < n; ++i)
+            fn(i);
+        return;
+    }
+    ThreadPool pool(std::min<size_t>(threads, n));
+    for (size_t i = 0; i < n; ++i)
+        pool.submit([&fn, i] { fn(i); });
+    pool.wait();
+}
+
+} // namespace apir

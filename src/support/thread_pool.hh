@@ -1,0 +1,83 @@
+/**
+ * @file
+ * A fixed-size thread pool for the parallel sweep runner.
+ *
+ * Deliberately minimal: one locked FIFO of jobs, no work stealing, no
+ * priorities. Simulation jobs (one accelerator run each) take seconds,
+ * so queue contention is irrelevant; what matters is that results are
+ * deterministic. Callers get that by writing each job's output to a
+ * pre-allocated slot indexed by submission order — the pool never
+ * reorders observable results, only overlaps their computation.
+ *
+ * With `threads <= 1` every entry point degenerates to running the
+ * jobs inline on the calling thread, so a serial run and a parallel
+ * run share one code path per job and differ only in interleaving.
+ */
+
+#ifndef APIR_SUPPORT_THREAD_POOL_HH
+#define APIR_SUPPORT_THREAD_POOL_HH
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace apir {
+
+/** Fixed set of worker threads draining one shared job queue. */
+class ThreadPool
+{
+  public:
+    /**
+     * Start `threads` workers. 0 means hardwareThreads(). A pool of
+     * one runs jobs on the calling thread inside wait() instead of
+     * spawning a worker, keeping serial runs genuinely serial.
+     */
+    explicit ThreadPool(unsigned threads);
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Enqueue one job. Must not be called concurrently with wait(). */
+    void submit(std::function<void()> job);
+
+    /** Block until every submitted job has finished. */
+    void wait();
+
+    /** Worker count this pool was built with (>= 1). */
+    unsigned numThreads() const { return threads_; }
+
+    /** std::thread::hardware_concurrency with a floor of 1. */
+    static unsigned hardwareThreads();
+
+  private:
+    void workerLoop();
+    bool runOne(std::unique_lock<std::mutex> &lock);
+
+    unsigned threads_;
+    std::vector<std::thread> workers_;
+    std::deque<std::function<void()>> queue_;
+    std::mutex mutex_;
+    std::condition_variable workReady_;
+    std::condition_variable allDone_;
+    size_t inFlight_ = 0; //!< queued + currently executing jobs
+    bool stopping_ = false;
+};
+
+/**
+ * Run fn(0) .. fn(n - 1), overlapping calls on up to `threads`
+ * workers (0 = hardwareThreads()). Returns after every call has
+ * finished. fn must only touch per-index state (or state it
+ * synchronizes itself); with threads <= 1 the calls happen inline in
+ * index order on the calling thread.
+ */
+void parallelForEach(size_t n, unsigned threads,
+                     const std::function<void(size_t)> &fn);
+
+} // namespace apir
+
+#endif // APIR_SUPPORT_THREAD_POOL_HH

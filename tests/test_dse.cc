@@ -7,6 +7,9 @@
 
 #include <gtest/gtest.h>
 
+#include <map>
+#include <mutex>
+
 #include "apps/bfs.hh"
 #include "dse/explorer.hh"
 #include "graph/generators.hh"
@@ -138,6 +141,76 @@ TEST(Dse, RealSimulatorIntegration)
     DseResult res = exploreDesignSpace(spec, AccelConfig{}, runner, opt);
     EXPECT_TRUE(res.best().evaluated);
     EXPECT_GT(res.best().seconds, 0.0);
+}
+
+TEST(Dse, GreedyNeverSimulatesTheSameConfigurationTwice)
+{
+    // Regression: eval_at used to re-simulate already-visited points
+    // on every coordinate-descent round, double-charging the
+    // maxEvaluations budget. Count runner invocations per config.
+    setQuietLogging(true);
+    MemorySystem mem;
+    AcceleratorSpec spec = tinySpec(mem);
+
+    std::mutex m;
+    std::map<std::string, int> calls;
+    // Optimum at the always-fitting (pipes=1, lanes=8) corner so the
+    // walk takes several rounds, re-probing points it came from.
+    DseRunner counting = [&](const AccelConfig &cfg) {
+        double t = 1.0;
+        t += std::abs(static_cast<int>(cfg.pipelinesPerSet) - 1) * 0.2;
+        t += std::abs(static_cast<int>(cfg.ruleLanes) - 8) * 0.01;
+        {
+            std::lock_guard<std::mutex> lock(m);
+            ++calls[describeConfig(cfg)];
+        }
+        return std::make_pair(t, 0.5);
+    };
+
+    DseOptions opt;
+    opt.greedy = true;
+    opt.threads = 2; // memoization must hold under the parallel probes
+    DseResult res = exploreDesignSpace(spec, AccelConfig{}, counting,
+                                       opt);
+
+    uint32_t total = 0;
+    for (const auto &[key, n] : calls) {
+        EXPECT_EQ(n, 1) << "configuration simulated twice: " << key;
+        total += static_cast<uint32_t>(n);
+    }
+    EXPECT_EQ(total, res.evaluations);
+    EXPECT_EQ(res.best().cfg.pipelinesPerSet, 1u);
+    EXPECT_EQ(res.best().cfg.ruleLanes, 8u);
+}
+
+TEST(Dse, ParallelExplorationIsIdenticalToSerial)
+{
+    setQuietLogging(true);
+    MemorySystem mem;
+    AcceleratorSpec spec = tinySpec(mem);
+    for (bool greedy : {false, true}) {
+        DseOptions serial;
+        serial.greedy = greedy;
+        serial.threads = 1;
+        DseOptions parallel = serial;
+        parallel.threads = 4;
+
+        DseResult a = exploreDesignSpace(spec, AccelConfig{},
+                                         syntheticRunner(), serial);
+        DseResult b = exploreDesignSpace(spec, AccelConfig{},
+                                         syntheticRunner(), parallel);
+        EXPECT_EQ(a.evaluations, b.evaluations) << "greedy=" << greedy;
+        EXPECT_EQ(a.pruned, b.pruned);
+        EXPECT_EQ(a.bestIndex, b.bestIndex);
+        ASSERT_EQ(a.points.size(), b.points.size());
+        for (size_t i = 0; i < a.points.size(); ++i) {
+            EXPECT_EQ(a.points[i].evaluated, b.points[i].evaluated);
+            EXPECT_EQ(a.points[i].fits, b.points[i].fits);
+            EXPECT_DOUBLE_EQ(a.points[i].seconds, b.points[i].seconds);
+            EXPECT_EQ(describeConfig(a.points[i].cfg),
+                      describeConfig(b.points[i].cfg));
+        }
+    }
 }
 
 TEST(Dse, DescribeConfigMentionsEveryKnob)

@@ -612,5 +612,71 @@ TEST(MicroAccel, ChromeTracerRecordsStagesAndQueues)
     EXPECT_TRUE(saw_depth);
 }
 
+// ----------------------------------------------------- config validation
+
+/** A minimal valid spec for configuration-validation tests. */
+AcceleratorSpec
+trivialSpec()
+{
+    AcceleratorSpec spec;
+    spec.name = "cfgcheck";
+    spec.sets = {{"t", TaskSetKind::ForEach, 0, 1}};
+    PipelineBuilder b("t", 0);
+    b.alu("nop", [](Token &) {}).sink("done");
+    spec.pipelines.push_back(b.build());
+    spec.seed(0, {0});
+    return spec;
+}
+
+TEST(AccelConfigDeath, HostFedWithZeroIntervalIsFatal)
+{
+    // Regression: hostTick computes cycle % hostInterval, so this
+    // configuration used to die with SIGFPE instead of a diagnostic.
+    setQuietLogging(true);
+    MemorySystem mem;
+    AcceleratorSpec spec = trivialSpec();
+    AccelConfig cfg;
+    cfg.hostBatch = 16;
+    cfg.hostInterval = 0;
+    EXPECT_EXIT(Accelerator(spec, cfg, mem),
+                ::testing::ExitedWithCode(1), "hostInterval");
+}
+
+TEST(AccelConfigDeath, ZeroStructuralKnobsAreFatal)
+{
+    setQuietLogging(true);
+    MemorySystem mem;
+    AcceleratorSpec spec = trivialSpec();
+    auto expect_rejected = [&](auto mutate, const char *msg) {
+        AccelConfig cfg;
+        mutate(cfg);
+        EXPECT_EXIT(Accelerator(spec, cfg, mem),
+                    ::testing::ExitedWithCode(1), msg);
+    };
+    expect_rejected([](AccelConfig &c) { c.pipelinesPerSet = 0; },
+                    "pipelinesPerSet");
+    expect_rejected([](AccelConfig &c) { c.ruleLanes = 0; },
+                    "ruleLanes");
+    expect_rejected([](AccelConfig &c) { c.queueBanks = 0; },
+                    "queueBanks");
+    expect_rejected([](AccelConfig &c) { c.fifoDepth = 0; },
+                    "fifoDepth");
+    expect_rejected([](AccelConfig &c) { c.lsuEntries = 0; },
+                    "lsuEntries");
+}
+
+TEST(AccelConfig, HostFedWithPositiveIntervalIsAccepted)
+{
+    setQuietLogging(true);
+    MemorySystem mem;
+    AcceleratorSpec spec = trivialSpec();
+    AccelConfig cfg;
+    cfg.hostBatch = 4;
+    cfg.hostInterval = 8;
+    Accelerator accel(spec, cfg, mem);
+    RunResult rr = accel.run();
+    EXPECT_EQ(rr.tasksExecuted, 1u);
+}
+
 } // namespace
 } // namespace apir
