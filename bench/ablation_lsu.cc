@@ -27,11 +27,11 @@ main(int argc, char **argv)
     JsonValue runs = JsonValue::array();
     std::vector<SweepJob> jobs;
     for (Bench b : kAllBenches) {
-        AccelConfig ooo = defaultAccelConfig();
+        AccelConfig ooo = defaultAccelConfig(opt);
         ooo.lsuInOrder = false;
         jobs.push_back({b, ooo, false});
 
-        AccelConfig ino = defaultAccelConfig();
+        AccelConfig ino = defaultAccelConfig(opt);
         ino.lsuInOrder = true;
         jobs.push_back({b, ino, false});
     }

@@ -25,7 +25,7 @@ main(int argc, char **argv)
     std::vector<SweepJob> jobs;
     for (Bench b : kAllBenches) {
         for (uint32_t np : pipes) {
-            AccelConfig cfg = defaultAccelConfig();
+            AccelConfig cfg = defaultAccelConfig(opt);
             cfg.pipelinesPerSet = np;
             jobs.push_back({b, cfg, false});
         }

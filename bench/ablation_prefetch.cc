@@ -31,9 +31,9 @@ main(int argc, char **argv)
     JsonValue runs = JsonValue::array();
     std::vector<SweepJob> jobs;
     for (Bench b : kAllBenches) {
-        jobs.push_back({b, defaultAccelConfig(), false});
+        jobs.push_back({b, defaultAccelConfig(opt), false});
 
-        AccelConfig pf_cfg = defaultAccelConfig();
+        AccelConfig pf_cfg = defaultAccelConfig(opt);
         pf_cfg.mem.cache.prefetchNextLine = true;
         jobs.push_back({b, pf_cfg, false});
     }

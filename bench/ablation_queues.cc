@@ -25,7 +25,7 @@ main(int argc, char **argv)
     std::vector<SweepJob> jobs;
     for (Bench b : {Bench::SpecBfs, Bench::SpecSssp, Bench::SpecDmr}) {
         for (uint32_t nb : banks) {
-            AccelConfig cfg = defaultAccelConfig();
+            AccelConfig cfg = defaultAccelConfig(opt);
             cfg.queueBanks = nb;
             jobs.push_back({b, cfg, false});
         }

@@ -28,7 +28,7 @@ main(int argc, char **argv)
     std::vector<SweepJob> jobs;
     for (Bench b : {Bench::SpecBfs, Bench::SpecMst, Bench::CoorLu}) {
         for (uint32_t nl : lanes) {
-            AccelConfig cfg = defaultAccelConfig();
+            AccelConfig cfg = defaultAccelConfig(opt);
             cfg.ruleLanes = nl;
             cfg.rendezvousEntries = nl;
             jobs.push_back({b, cfg, false});

@@ -14,7 +14,8 @@ namespace bench {
 namespace {
 
 const char kUsage[] =
-    "supported flags: --scale <f>  --stats-json <path>  --threads <n>";
+    "supported flags: --scale <f>  --stats-json <path>  --threads <n>  "
+    "--no-fast-forward  --bandwidth-scale <f>";
 
 /** The (required) value of flag argv[i]; fatal when it is missing. */
 const char *
@@ -43,6 +44,12 @@ parseOptions(int argc, char **argv)
             if (n < 1)
                 fatal("--threads must be >= 1");
             opt.threads = static_cast<unsigned>(n);
+        } else if (std::strcmp(argv[i], "--no-fast-forward") == 0) {
+            opt.fastForward = false;
+        } else if (std::strcmp(argv[i], "--bandwidth-scale") == 0) {
+            opt.bandwidthScale = std::atof(flagValue(argc, argv, i++));
+            if (opt.bandwidthScale <= 0.0)
+                fatal("--bandwidth-scale must be positive");
         } else {
             // A typo like --stat-json must not silently drop output.
             fatal("unknown argument '", argv[i], "'; ", kUsage);
@@ -144,6 +151,15 @@ defaultAccelConfig()
     cfg.pipelinesPerSet = 4;
     cfg.ruleLanes = 32;
     cfg.queueBanks = 4;
+    return cfg;
+}
+
+AccelConfig
+defaultAccelConfig(const Options &opt)
+{
+    AccelConfig cfg = defaultAccelConfig();
+    cfg.fastForward = opt.fastForward;
+    cfg.mem.bandwidthScale = opt.bandwidthScale;
     return cfg;
 }
 

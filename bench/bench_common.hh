@@ -33,12 +33,27 @@ struct Options
     double scale = 1.0;    //!< workload size multiplier
     std::string statsJson; //!< --stats-json: structured-results path
     unsigned threads = 0;  //!< --threads: sweep workers (0 = all cores)
+    /**
+     * --no-fast-forward: run the accelerator strictly one cycle at a
+     * time. The event-driven fast-forward is bit-identical by
+     * contract, so this is an escape hatch for validating that claim
+     * (CI diffs the two stats outputs) and for debugging the wake
+     * computation itself.
+     */
+    bool fastForward = true;
+    /**
+     * --bandwidth-scale: QPI bandwidth multiplier applied to the base
+     * configuration. Benches that sweep bandwidth themselves (fig10)
+     * multiply their sweep points by this base, so values < 1 shift
+     * the whole sweep into the memory-bound regime.
+     */
+    double bandwidthScale = 1.0;
 };
 
 /**
- * Parse the shared bench flags (--scale, --stats-json, --threads).
- * Unknown or malformed arguments are fatal — a typoed flag must not
- * silently drop output.
+ * Parse the shared bench flags (--scale, --stats-json, --threads,
+ * --no-fast-forward, --bandwidth-scale). Unknown or malformed
+ * arguments are fatal — a typoed flag must not silently drop output.
  */
 Options parseOptions(int argc, char **argv);
 
@@ -108,6 +123,9 @@ std::vector<AccelRun> runSweep(const std::vector<SweepJob> &jobs,
 
 /** Default accelerator configuration used by the benches. */
 AccelConfig defaultAccelConfig();
+
+/** Default configuration with the shared bench flags applied. */
+AccelConfig defaultAccelConfig(const Options &opt);
 
 /** All six benchmarks in paper order. */
 inline constexpr Bench kAllBenches[] = {

@@ -77,14 +77,14 @@ main(int argc, char **argv)
     // sweep; fan them out before the per-benchmark explorations.
     std::vector<SweepJob> baseJobs;
     for (Bench b : kAllBenches)
-        baseJobs.push_back({b, defaultAccelConfig(), false});
+        baseJobs.push_back({b, defaultAccelConfig(opt), false});
     std::vector<AccelRun> defaults = runSweep(baseJobs, w, opt.threads);
 
     size_t next = 0;
     for (Bench b : kAllBenches) {
         MemorySystem scratch;
         AcceleratorSpec spec = specFor(b, w, scratch);
-        AccelConfig base = defaultAccelConfig();
+        AccelConfig base = defaultAccelConfig(opt);
         const AccelRun &dflt = defaults[next++];
 
         DseResult res =

@@ -34,8 +34,10 @@ main(int argc, char **argv)
     std::vector<SweepJob> jobs;
     for (Bench b : kAllBenches) {
         for (double s : scales) {
-            AccelConfig cfg = defaultAccelConfig();
-            cfg.mem.bandwidthScale = s;
+            AccelConfig cfg = defaultAccelConfig(opt);
+            // Relative to the base: --bandwidth-scale 0.05 shifts the
+            // whole sweep into the memory-bound regime.
+            cfg.mem.bandwidthScale = s * opt.bandwidthScale;
             jobs.push_back({b, cfg, false});
         }
     }
@@ -58,7 +60,8 @@ main(int argc, char **argv)
                                                run.seconds));
             runs.push(std::move(j));
             table.addRow(
-                {strprintf("x%.0f", s), strprintf("%.1f", 7.0 * s),
+                {strprintf("x%.0f", s),
+                 strprintf("%.1f", 7.0 * s * opt.bandwidthScale),
                  strprintf("%.4f", run.seconds),
                  strprintf("%.2fx", base_seconds / run.seconds),
                  strprintf("%.3f", run.rr.utilization),

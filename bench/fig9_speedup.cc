@@ -81,7 +81,7 @@ main(int argc, char **argv)
     double min_s1 = 1e30, max_s1 = 0.0, min_s10 = 1e30, max_s10 = 0.0;
     std::vector<SweepJob> jobs;
     for (Bench b : kAllBenches)
-        jobs.push_back({b, defaultAccelConfig(), true});
+        jobs.push_back({b, defaultAccelConfig(opt), true});
     std::vector<AccelRun> sweep = runSweep(jobs, w, opt.threads);
 
     JsonValue runs = JsonValue::array();

@@ -64,7 +64,7 @@ main(int argc, char **argv)
     for (Bench b : kAllBenches) {
         MemorySystem mem;
         AcceleratorSpec spec = buildSpecFor(b, w, mem);
-        AccelConfig cfg = defaultAccelConfig();
+        AccelConfig cfg = defaultAccelConfig(opt);
         cfg.pipelinesPerSet = fitPipelinesToDevice(spec, cfg, dev);
         ResourceReport rep = estimateResources(spec, cfg);
         double share = rep.ruleEngineRegisterShare();

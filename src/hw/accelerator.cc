@@ -6,6 +6,7 @@
 #include "support/logging.hh"
 #include "support/str.hh"
 #include "support/trace.hh"
+#include "support/wake.hh"
 
 namespace apir {
 
@@ -36,6 +37,11 @@ validateConfig(const AccelConfig &cfg)
     require(cfg.hostBatch == 0 || cfg.hostInterval > 0,
             "hostBatch > 0 requires hostInterval >= 1 (host-fed "
             "injection fires every hostInterval cycles)");
+    require(cfg.deadlockCycles == 0 ||
+                cfg.deadlockCycles > cfg.otherwiseTimeout,
+            "deadlockCycles must exceed otherwiseTimeout (the "
+            "rendezvous liveness fallback must get a chance to fire "
+            "before the watchdog declares deadlock)");
 }
 
 } // namespace
@@ -46,6 +52,9 @@ Accelerator::Accelerator(const AcceleratorSpec &spec,
 {
     spec_.verify();
     validateConfig(cfg_);
+    deadlockThreshold_ = cfg_.deadlockCycles
+                             ? cfg_.deadlockCycles
+                             : cfg_.otherwiseTimeout * 64 + 100000;
 
     for (const RuleSpec &r : spec_.rules)
         engines_.push_back(std::make_unique<RuleEngine>(r, cfg_.ruleLanes));
@@ -191,6 +200,27 @@ Accelerator::done() const
     return tracker_.empty() && hostPos_ >= spec_.initial.size();
 }
 
+uint64_t
+Accelerator::nextWakeCycle(uint64_t cycle) const
+{
+    // The deadlock watchdog and the cycle wall cap every skip, so a
+    // wedged machine panics at exactly the cycle the per-cycle loop
+    // would reach, with the same message.
+    uint64_t wake = std::min(lastProgressCycle_ + deadlockThreshold_ + 1,
+                             cfg_.maxCycles);
+    for (const auto &s : stages_)
+        wake = std::min(wake, s->nextWakeCycle(cycle));
+    for (const auto &q : queues_)
+        wake = std::min(wake, q->nextWakeCycle(cycle));
+    // Host-fed injection fires at multiples of hostInterval. In
+    // pre-loaded mode (hostBatch == 0) a stalled host implies a full
+    // queue, which only drains via pipeline progress — no wake.
+    if (hostPos_ < spec_.initial.size() && cfg_.hostBatch > 0)
+        wake = std::min(
+            wake, (cycle / cfg_.hostInterval + 1) * cfg_.hostInterval);
+    return wake;
+}
+
 RunResult
 Accelerator::run()
 {
@@ -214,23 +244,53 @@ Accelerator::run()
                     static_cast<double>(queues_[i]->occupancy()));
         }
         bool any_busy = false;
+        bool any_moved = false;
         for (auto &stage : stages_) {
             stage->tick(cycle);
             if (stage->wasBusy()) {
                 ++busy_stage_cycles;
                 any_busy = true;
             }
+            if (stage->movedToken())
+                any_moved = true;
         }
         if (any_busy)
             lastProgressCycle_ = cycle;
         if (done())
             break;
-        if (cycle - lastProgressCycle_ >
-            cfg_.otherwiseTimeout * 64 + 100000)
+        if (cycle - lastProgressCycle_ > deadlockThreshold_)
             panic("accelerator '", spec_.name, "' deadlocked at cycle ",
                   cycle, " with ", tracker_.size(), " live tasks");
         if (cycle >= cfg_.maxCycles)
             fatal("accelerator '", spec_.name, "' exceeded the cycle wall");
+
+        // Idle-cycle fast-forward: this cycle neither fired a stage
+        // nor buffered a token, so until the earliest wake-up the
+        // machine would replay the exact same no-progress tick. Jump
+        // there, charging the skipped cycles to the same stall/idle
+        // counters (and per-cycle retry stats) the replayed ticks
+        // would have produced, and replaying the tracer's queue-depth
+        // samples (occupancy cannot change over the stretch).
+        if (cfg_.fastForward && !any_busy && !any_moved) {
+            uint64_t wake = nextWakeCycle(cycle);
+            if (wake > cycle + 1) {
+                uint64_t skipped = wake - 1 - cycle;
+                for (auto &stage : stages_)
+                    stage->chargeSkipped(skipped);
+                if (cfg_.tracer) {
+                    for (uint64_t sc = cycle + 1; sc < wake; ++sc) {
+                        if (!cfg_.tracer->active(sc))
+                            continue;
+                        for (size_t i = 0; i < queues_.size(); ++i)
+                            cfg_.tracer->counterEvent(
+                                queue_tracks[i], "depth", sc,
+                                static_cast<double>(
+                                    queues_[i]->occupancy()));
+                    }
+                }
+                cycle = wake - 1;
+            }
+        }
     }
 
     res.cycles = cycle + 1;

@@ -68,6 +68,16 @@ class Accelerator
     void hostTick(uint64_t cycle);
     bool done() const;
 
+    /**
+     * Earliest cycle > `cycle` at which any component can act on its
+     * own: stage wake-ups (FIFO visibility, memory completions,
+     * rendezvous fallback timers), task-queue visibility, the next
+     * host injection, the deadlock watchdog and the cycle wall. The
+     * last two make the result always finite, so a fully wedged
+     * machine fast-forwards straight to its panic cycle.
+     */
+    uint64_t nextWakeCycle(uint64_t cycle) const;
+
     const AcceleratorSpec &spec_;
     AccelConfig cfg_;
     MemorySystem &mem_;
@@ -82,6 +92,7 @@ class Accelerator
     HwContext ctx_;
     size_t hostPos_ = 0;
     uint64_t lastProgressCycle_ = 0;
+    uint64_t deadlockThreshold_ = 0; //!< resolved cfg.deadlockCycles
     StatRegistry registry_;
 };
 

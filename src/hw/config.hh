@@ -42,8 +42,29 @@ struct AccelConfig
      * clause for its locally minimal waiter.
      */
     uint64_t otherwiseTimeout = 64;
+    /**
+     * Cycles without any stage firing before the deadlock watchdog
+     * panics. Measured in simulated cycles, so the verdict is the
+     * same with fast-forward on or off. 0 derives the default
+     * otherwiseTimeout * 64 + 100000: far past every legitimate stall
+     * (QPI misses, host-feed gaps, rendezvous fallback sweeps). When
+     * set explicitly it must exceed otherwiseTimeout, or the watchdog
+     * would declare deadlock before the rendezvous liveness fallback
+     * gets a chance to break the stall.
+     */
+    uint64_t deadlockCycles = 0;
     /** Hard wall for simulation length; exceeded means a hang. */
     uint64_t maxCycles = 1ull << 36;
+    /**
+     * Skip provably-inactive cycle stretches: when a tick fires no
+     * stage and moves no token, jump the clock to the earliest
+     * component wake-up (FIFO visibility, memory completion, host
+     * injection, rendezvous fallback, watchdog) instead of ticking
+     * through dead cycles one by one. Every statistic, histogram and
+     * trace event is bit-identical to the 1-cycle-at-a-time loop;
+     * --no-fast-forward in the benches is the escape hatch.
+     */
+    bool fastForward = true;
     /** FPGA clock, for converting cycles to seconds (200 MHz). */
     double clockHz = 200e6;
 

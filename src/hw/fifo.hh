@@ -14,6 +14,7 @@
 #include <utility>
 
 #include "support/logging.hh"
+#include "support/wake.hh"
 
 namespace apir {
 
@@ -57,6 +58,18 @@ class SimFifo
     {
         APIR_ASSERT(!items_.empty(), "front of empty FIFO");
         return items_.front().second;
+    }
+
+    /**
+     * Cycle at which the head item becomes poppable. Push cycles are
+     * nondecreasing, so this is the earliest visibility in the FIFO —
+     * the FIFO's contribution to the fast-forward wake computation.
+     */
+    uint64_t
+    frontVisibleAt() const
+    {
+        APIR_ASSERT(!items_.empty(), "visibility of empty FIFO");
+        return items_.front().first;
     }
 
     T

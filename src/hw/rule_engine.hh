@@ -17,6 +17,7 @@
 #include "bdfg/token.hh"
 #include "core/rule.hh"
 #include "support/stats.hh"
+#include "support/wake.hh"
 
 namespace apir {
 
@@ -56,6 +57,25 @@ class RuleEngine
 
     /** Release the lane after the rendezvous consumed the verdict. */
     void release(uint32_t lane);
+
+    /**
+     * Fast-forward wake contract: the engine is purely reactive — a
+     * lane's state changes only when an event is broadcast, an
+     * otherwise clause is fired at it, or the rendezvous releases it,
+     * all of which are other components' progress. It never schedules
+     * its own wake-up (the otherwise *timeout* lives in the
+     * rendezvous stages, which count it against global progress).
+     */
+    uint64_t nextWakeCycle(uint64_t) const { return kNeverWake; }
+
+    /**
+     * Account `n` skipped-cycle allocation failures at once: an
+     * alloc-rule stage stalled on a full lane file retries every
+     * cycle, and no lane can free while the whole machine is idle, so
+     * the fast-forward loop charges the retries the 1-cycle-at-a-time
+     * loop would have made.
+     */
+    void chargeAllocFails(uint64_t n) { allocFails_ += n; }
 
     // Statistics.
     uint64_t allocs() const { return allocs_.value(); }

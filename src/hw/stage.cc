@@ -17,6 +17,7 @@ Stage::tick(uint64_t cycle)
 {
     fired_ = false;
     hasWork_ = false;
+    movedToken_ = false;
     doTick(cycle);
     if (fired_)
         ++st_.busy;
@@ -38,6 +39,17 @@ Stage::tick(uint64_t cycle)
             traceLabel_.empty() ? actor_.name : traceLabel_,
             actorKindName(actor_.kind), cycle, 1);
     }
+}
+
+uint64_t
+Stage::nextWakeCycle(uint64_t cycle) const
+{
+    // A head token still in its register delay lands at a known
+    // cycle. A head already visible was offered this cycle; if it was
+    // not consumed, only downstream progress can unblock the stage.
+    if (in_ && !in_->empty() && !in_->canPop(cycle))
+        return in_->frontVisibleAt();
+    return kNeverWake;
 }
 
 // ---------------------------------------------------------------- Source
@@ -180,6 +192,7 @@ ExpandStage::doTick(uint64_t cycle)
             return;
         }
         active_ = true;
+        movedToken_ = true; // consumed upstream even if out is full
         current_ = tok;
         pos_ = b;
         end_ = e;
@@ -217,12 +230,15 @@ MemStage::MemStage(const Actor &a, HwContext &ctx)
 void
 MemStage::doTick(uint64_t cycle)
 {
+    issueRejected_ = false;
+
     // Accept one new token.
     if (in_->canPop(cycle) && entries_.size() < maxEntries_) {
         Entry e;
         e.tok = in_->pop(cycle);
         e.addr = actor_.addr(e.tok);
         entries_.push_back(std::move(e));
+        movedToken_ = true;
     }
 
     // Issue one request (oldest unissued first).
@@ -234,6 +250,8 @@ MemStage::doTick(uint64_t cycle)
             e.issued = true;
             e.done = *done;
             fired_ = true;
+        } else {
+            issueRejected_ = true;
         }
         break; // one issue port per cycle
     }
@@ -266,11 +284,42 @@ MemStage::doTick(uint64_t cycle)
     }
 }
 
+uint64_t
+MemStage::nextWakeCycle(uint64_t cycle) const
+{
+    uint64_t wake = Stage::nextWakeCycle(cycle);
+    for (const Entry &e : entries_) {
+        if (e.issued) {
+            // A completion in the future emits then; one already due
+            // is blocked on the output FIFO (or in-order head), which
+            // only downstream progress clears.
+            if (e.done > cycle)
+                wake = std::min(wake, e.done);
+        } else {
+            // Unissued entries retry against the memory system every
+            // cycle; the retry provably fails until an MSHR frees.
+            wake = std::min(wake, ctx_.mem->nextWakeCycle(cycle));
+        }
+    }
+    return wake;
+}
+
+void
+MemStage::chargeSkippedRetries(uint64_t cycles)
+{
+    // Each skipped cycle would have re-issued the blocked head request
+    // and been rejected again (no MSHR can free while the machine is
+    // idle — the skip never crosses an outstanding-miss completion).
+    if (issueRejected_)
+        ctx_.mem->chargeMshrRejects(cycles);
+}
+
 // -------------------------------------------------------------- AllocRule
 
 void
 AllocRuleStage::doTick(uint64_t cycle)
 {
+    allocFailed_ = false;
     if (!in_->canPop(cycle))
         return;
     hasWork_ = true;
@@ -281,14 +330,25 @@ AllocRuleStage::doTick(uint64_t cycle)
     params.index = peek.index;
     params.words = actor_.payload(peek);
     uint32_t lane = engine(actor_.rule).alloc(params);
-    if (lane == kNoLane)
+    if (lane == kNoLane) {
+        allocFailed_ = true;
         return; // allocator stall: no free lane
+    }
     Token tok = in_->pop(cycle);
     tok.lane = lane;
     tok.laneRule = actor_.rule;
     out_[0]->push(cycle, tok, actor_.latency);
     fired_ = true;
     ++st_.tokens;
+}
+
+void
+AllocRuleStage::chargeSkippedRetries(uint64_t cycles)
+{
+    // Lanes release only when a rendezvous or sink fires; during a
+    // skipped stretch every retry fails identically.
+    if (allocFailed_)
+        engine(actor_.rule).chargeAllocFails(cycles);
 }
 
 // ------------------------------------------------------------- Rendezvous
@@ -309,6 +369,7 @@ RendezvousStage::doTick(uint64_t cycle)
         Token t = in_->pop(cycle);
         group_->insert(tokenKey(t));
         entries_.push_back(std::move(t));
+        movedToken_ = true;
     }
 
     if (entries_.empty())
@@ -373,6 +434,27 @@ RendezvousStage::doTick(uint64_t cycle)
         ++st_.tokens;
         break;
     }
+}
+
+uint64_t
+RendezvousStage::nextWakeCycle(uint64_t cycle) const
+{
+    uint64_t wake = Stage::nextWakeCycle(cycle);
+    // Unresolved waiters arm the liveness-fallback timer: the stage
+    // must tick when the whole machine has been wedged past
+    // otherwiseTimeout. Inside that regime the fallback resolves one
+    // waiter per cycle, so every cycle is a state change and the
+    // stage asks to be ticked on the very next one.
+    for (const Token &t : entries_) {
+        if (t.lane == kNoLane ||
+            (*ctx_.engines)[t.laneRule]->resolved(t.lane))
+            continue;
+        uint64_t threshold =
+            *ctx_.lastGlobalProgress + ctx_.cfg->otherwiseTimeout + 1;
+        wake = std::min(wake, std::max(threshold, cycle + 1));
+        break;
+    }
+    return wake;
 }
 
 // ---------------------------------------------------------------- factory

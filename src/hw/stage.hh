@@ -71,13 +71,51 @@ class Stage
     const StageStats &stats() const { return st_; }
     bool wasBusy() const { return lastBusy_; }
 
+    /**
+     * Did the last tick move a token without firing? Out-of-order
+     * units (load/store, rendezvous) and the expander accept a token
+     * into internal buffers without counting as busy; such a cycle
+     * still changed machine state, so the fast-forward loop must not
+     * treat it as skippable.
+     */
+    bool movedToken() const { return movedToken_; }
+
+    /**
+     * Earliest cycle > `cycle` at which this stage could act without
+     * any other component making progress (see support/wake.hh). The
+     * base contract is input-FIFO visibility: a non-empty input whose
+     * head is still in its register delay wakes the stage when it
+     * lands. Out-of-order units add their internal completions.
+     */
+    virtual uint64_t nextWakeCycle(uint64_t cycle) const;
+
+    /**
+     * Charge `cycles` skipped idle cycles exactly as the per-cycle
+     * loop would have: stall vs idle classified from the last
+     * (no-progress) tick's outcome, which is provably constant over a
+     * skipped stretch, plus any deterministic per-cycle retry
+     * counters (MSHR rejects, lane-allocation failures).
+     */
+    void
+    chargeSkipped(uint64_t cycles)
+    {
+        if (hasWork_ || (in_ && !in_->empty()))
+            st_.stall += cycles;
+        else
+            st_.idle += cycles;
+        chargeSkippedRetries(cycles);
+    }
+
     /** Label used in cycle traces, e.g. "update/2/ld_level". */
     void setTraceLabel(std::string label) { traceLabel_ = std::move(label); }
     const std::string &traceLabel() const { return traceLabel_; }
 
   protected:
-    /** Kind-specific behaviour; sets fired_/hasWork_. */
+    /** Kind-specific behaviour; sets fired_/hasWork_/movedToken_. */
     virtual void doTick(uint64_t cycle) = 0;
+
+    /** Per-cycle retry counters to replay over a skipped stretch. */
+    virtual void chargeSkippedRetries(uint64_t) {}
 
     /** Order key of a token under the design's comparator. */
     HwOrderKey
@@ -96,8 +134,9 @@ class Stage
     SimFifo<Token> *in_ = nullptr;
     SimFifo<Token> *out_[2] = {nullptr, nullptr};
     StageStats st_;
-    bool fired_ = false;   //!< did useful work this cycle
-    bool hasWork_ = false; //!< had work but could not complete it
+    bool fired_ = false;      //!< did useful work this cycle
+    bool hasWork_ = false;    //!< had work but could not complete it
+    bool movedToken_ = false; //!< buffered a token without firing
     bool lastBusy_ = false;
     std::string traceLabel_;
 };
@@ -157,8 +196,11 @@ class MemStage : public Stage
   public:
     MemStage(const Actor &a, HwContext &ctx);
 
+    uint64_t nextWakeCycle(uint64_t cycle) const override;
+
   protected:
     void doTick(uint64_t cycle) override;
+    void chargeSkippedRetries(uint64_t cycles) override;
 
   private:
     struct Entry
@@ -172,6 +214,7 @@ class MemStage : public Stage
     std::vector<Entry> entries_;
     uint32_t maxEntries_;
     bool isStore_;
+    bool issueRejected_ = false; //!< last tick's issue hit MSHR wall
 };
 
 /** Constructs the task's rule in a rule-engine lane. */
@@ -182,6 +225,10 @@ class AllocRuleStage : public Stage
 
   protected:
     void doTick(uint64_t cycle) override;
+    void chargeSkippedRetries(uint64_t cycles) override;
+
+  private:
+    bool allocFailed_ = false; //!< last tick found no free lane
 };
 
 class RendezvousGroup;
@@ -200,6 +247,8 @@ class RendezvousStage : public Stage
                     RendezvousGroup *group);
 
     uint64_t fallbackFires() const { return fallbacks_; }
+
+    uint64_t nextWakeCycle(uint64_t cycle) const override;
 
   protected:
     void doTick(uint64_t cycle) override;

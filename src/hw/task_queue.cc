@@ -105,6 +105,30 @@ TaskQueueUnit::pop(uint64_t cycle, uint32_t source_id)
     return std::nullopt;
 }
 
+uint64_t
+TaskQueueUnit::nextWakeCycle(uint64_t cycle) const
+{
+    uint64_t wake = kNeverWake;
+    if (decl_.priority) {
+        // Heap storage is key-ordered, not time-ordered: scan all.
+        for (const auto &[key, item] : heap_)
+            if (item.first > cycle)
+                wake = std::min(wake, item.first);
+        return wake;
+    }
+    // Bank FIFOs see nondecreasing push cycles, so the head is each
+    // bank's earliest visibility; heads at or before `cycle` are
+    // already on offer and contribute nothing.
+    for (const auto &b : banks_) {
+        if (b.empty())
+            continue;
+        uint64_t v = b.frontVisibleAt();
+        if (v > cycle)
+            wake = std::min(wake, v);
+    }
+    return wake;
+}
+
 size_t
 TaskQueueUnit::occupancy() const
 {

@@ -54,6 +54,16 @@ class TaskQueueUnit
      */
     std::optional<SwTask> pop(uint64_t cycle, uint32_t source_id);
 
+    /**
+     * Earliest cycle > `cycle` at which a stored task that is not yet
+     * poppable becomes visible (registered-push semantics: pushed at
+     * N, poppable at N+1). Tasks already visible at `cycle` do not
+     * contribute: they were offered to the sources this cycle, and if
+     * no source took them only source-side progress (an output FIFO
+     * draining) can change that. kNeverWake when nothing is pending.
+     */
+    uint64_t nextWakeCycle(uint64_t cycle) const;
+
     uint64_t pushes() const { return pushes_.value(); }
     uint64_t pops() const { return pops_.value(); }
     size_t occupancy() const;

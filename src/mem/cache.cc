@@ -73,8 +73,14 @@ Cache::access(uint64_t cycle, uint64_t addr, bool is_write)
         // resident or in flight. Consumes link bandwidth but no MSHR
         // (its fill is not awaited by anyone); a later demand access
         // that beats the fill is handled by the miss-under-fill path.
+        // When line N+1 maps to the set just filled (only possible
+        // with a single-line cache), prefetching would evict the
+        // demand line before its consumer ever hits it, turning every
+        // access into a miss; the degenerate geometry skips it.
         uint64_t pf_line = line_addr + 1;
         uint64_t pf_set = pf_line % numLines_;
+        if (pf_set == set)
+            return done;
         uint64_t pf_tag = pf_line / numLines_;
         Line &pf = lines_[pf_set];
         if (!pf.valid || pf.tag != pf_tag) {
@@ -91,6 +97,18 @@ Cache::access(uint64_t cycle, uint64_t addr, bool is_write)
         }
     }
     return done;
+}
+
+uint64_t
+Cache::nextMshrFreeCycle(uint64_t cycle) const
+{
+    uint64_t wake = kNeverWake;
+    for (uint64_t done : mshrDone_) {
+        if (done <= cycle)
+            return cycle + 1; // a slot is already reclaimable
+        wake = std::min(wake, done);
+    }
+    return wake;
 }
 
 void

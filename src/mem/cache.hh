@@ -24,6 +24,7 @@
 
 #include "mem/qpi.hh"
 #include "support/stats.hh"
+#include "support/wake.hh"
 
 namespace apir {
 
@@ -67,6 +68,22 @@ class Cache
     uint64_t missUnderFills() const { return missUnderFills_.value(); }
 
     const CacheConfig &config() const { return cfg_; }
+
+    /**
+     * Earliest cycle > `cycle` at which an outstanding miss completes
+     * and frees its MSHR (kNeverWake when none are in flight). A
+     * load/store unit rejected for MSHR back-pressure retries every
+     * cycle; until this cycle every retry provably fails again, so
+     * the fast-forward loop may skip to it.
+     */
+    uint64_t nextMshrFreeCycle(uint64_t cycle) const;
+
+    /**
+     * Account `n` skipped-cycle MSHR rejections at once: the
+     * fast-forward loop charges the retries the 1-cycle-at-a-time
+     * loop would have issued during a provably-rejected stretch.
+     */
+    void chargeMshrRejects(uint64_t n) { mshrRejects_ += n; }
 
     /** Register this cache's statistics under `component`. */
     void registerStats(StatRegistry &reg,

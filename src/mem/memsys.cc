@@ -1,5 +1,7 @@
 #include "mem/memsys.hh"
 
+#include <algorithm>
+
 #include "support/stats_registry.hh"
 #include "support/trace.hh"
 
@@ -16,8 +18,17 @@ MemorySystem::MemorySystem(MemConfig cfg) : cfg_(cfg)
 double
 MemorySystem::effectiveBandwidthGBs() const
 {
-    // bytes/cycle * 200e6 cycles/s.
-    return qpi_->config().bytesPerCycle * 200e6 / 1e9;
+    return qpi_->config().bytesPerCycle * cfg_.clockHz / 1e9;
+}
+
+uint64_t
+MemorySystem::nextWakeCycle(uint64_t cycle) const
+{
+    uint64_t wake = cache_->nextMshrFreeCycle(cycle);
+    uint64_t link = qpi_->nextFreeCycle();
+    if (link > cycle)
+        wake = std::min(wake, link);
+    return wake;
 }
 
 void

@@ -29,6 +29,12 @@ struct MemConfig
     QpiConfig qpi;
     /** Figure 10 knob: scales QPI bandwidth (1.0 = stock HARP). */
     double bandwidthScale = 1.0;
+    /**
+     * FPGA clock the per-cycle QPI bandwidth is quoted against
+     * (effectiveBandwidthGBs = bytesPerCycle * clockHz). Keep in sync
+     * with AccelConfig::clockHz when sweeping non-default clocks.
+     */
+    double clockHz = 200e6;
 };
 
 /** Cache + QPI + functional image. */
@@ -67,8 +73,19 @@ class MemorySystem
     uint64_t reads() const { return reads_.value(); }
     uint64_t writes() const { return writes_.value(); }
 
-    /** Effective QPI bandwidth in GB/s at 200 MHz. */
+    /** Effective QPI bandwidth in GB/s at the configured clock. */
     double effectiveBandwidthGBs() const;
+
+    /**
+     * Earliest cycle > `cycle` at which the memory system can make
+     * progress on its own: an outstanding miss completing (freeing an
+     * MSHR for a back-pressured load/store unit) or the QPI link
+     * becoming free. kNeverWake when nothing is in flight.
+     */
+    uint64_t nextWakeCycle(uint64_t cycle) const;
+
+    /** Fast-forward accounting: see Cache::chargeMshrRejects. */
+    void chargeMshrRejects(uint64_t n) { cache_->chargeMshrRejects(n); }
 
     /**
      * Register the whole memory system's statistics (its own access

@@ -1,0 +1,29 @@
+/**
+ * @file
+ * The wake-cycle vocabulary of the event-driven fast-forward: every
+ * timed component exposes `nextWakeCycle(cycle)` — the earliest cycle
+ * strictly after `cycle` at which its state can change without any
+ * other component making progress — and the simulation loop jumps
+ * idle stretches to the minimum over all components. A wake may be
+ * early (the tick finds nothing to do and the loop skips again) but
+ * must never be late; components that only react to others return
+ * kNeverWake.
+ */
+
+#ifndef APIR_SUPPORT_WAKE_HH
+#define APIR_SUPPORT_WAKE_HH
+
+#include <cstdint>
+
+namespace apir {
+
+/**
+ * "No self-scheduled wake-up" sentinel: the component's state can
+ * only change through another component's progress, never by the
+ * passage of cycles alone.
+ */
+inline constexpr uint64_t kNeverWake = ~0ull;
+
+} // namespace apir
+
+#endif // APIR_SUPPORT_WAKE_HH

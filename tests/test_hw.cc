@@ -111,6 +111,88 @@ TEST(TaskQueue, BackpressureWhenFull)
     EXPECT_FALSE(q.canPush());
 }
 
+TEST(TaskQueue, OneGrantPerBankPerCycle)
+{
+    LiveKeyTracker tracker;
+    TaskSetDecl decl{"s", TaskSetKind::ForEach, 0, 1};
+    TaskQueueUnit q(decl, 0, 2, 16, tracker);
+    for (int i = 0; i < 4; ++i)
+        q.push(0, 0, {Word(i)}, TaskIndex{});
+    // Two banks: exactly two grants per cycle no matter how many
+    // sources ask.
+    EXPECT_TRUE(q.pop(1, 0).has_value());
+    EXPECT_TRUE(q.pop(1, 1).has_value());
+    EXPECT_FALSE(q.pop(1, 2).has_value());
+    EXPECT_FALSE(q.pop(1, 3).has_value());
+    EXPECT_TRUE(q.pop(2, 0).has_value());
+    EXPECT_TRUE(q.pop(2, 1).has_value());
+    EXPECT_EQ(q.occupancy(), 0u);
+}
+
+TEST(TaskQueue, RegisteredPushVisibleNextCycle)
+{
+    LiveKeyTracker tracker;
+    TaskSetDecl decl{"s", TaskSetKind::ForEach, 0, 1};
+    TaskQueueUnit q(decl, 0, 1, 16, tracker);
+    q.push(7, 0, {42}, TaskIndex{});
+    EXPECT_FALSE(q.pop(7, 0).has_value()); // pushed at 7: not yet
+    EXPECT_EQ(q.nextWakeCycle(7), 8u);     // ... visible at 8
+    auto t = q.pop(8, 0);
+    ASSERT_TRUE(t.has_value());
+    EXPECT_EQ(t->data[0], 42u);
+}
+
+TEST(TaskQueue, RotatingPriorityAlternatesBanks)
+{
+    // Worked example of the wavefront allocator: pushes at cycle 0
+    // land in the least-occupied bank, ties to the lowest id, so
+    // bank0 = [t0, t2] and bank1 = [t1, t3]. At cycle 1 the rotation
+    // starts source s at bank (s + 1) % 2; at cycle 2 it has advanced
+    // by one, so the same source starts at the other bank.
+    LiveKeyTracker tracker;
+    TaskSetDecl decl{"s", TaskSetKind::ForEach, 0, 1};
+    TaskQueueUnit q(decl, 0, 2, 16, tracker);
+    for (int i = 0; i < 4; ++i)
+        q.push(0, 0, {Word(i)}, TaskIndex{});
+
+    auto a = q.pop(1, 0); // starts at bank 1: head t1
+    auto b = q.pop(1, 1); // starts at bank 0: head t0
+    ASSERT_TRUE(a && b);
+    EXPECT_EQ(a->data[0], 1u);
+    EXPECT_EQ(b->data[0], 0u);
+
+    auto c = q.pop(2, 0); // rotation moved on: bank 0, head t2
+    auto d = q.pop(2, 1); // bank 1, head t3
+    ASSERT_TRUE(c && d);
+    EXPECT_EQ(c->data[0], 2u);
+    EXPECT_EQ(d->data[0], 3u);
+}
+
+TEST(TaskQueue, WakeOnlyForInvisibleTasks)
+{
+    LiveKeyTracker tracker;
+    TaskSetDecl decl{"s", TaskSetKind::ForEach, 0, 1};
+    TaskQueueUnit q(decl, 0, 2, 16, tracker);
+    EXPECT_EQ(q.nextWakeCycle(0), kNeverWake); // empty: nothing pending
+    q.push(3, 0, {1}, TaskIndex{});
+    EXPECT_EQ(q.nextWakeCycle(3), 4u);
+    // Once the task is on offer, an unconsumed task is the sources'
+    // problem, not a queue wake-up.
+    EXPECT_EQ(q.nextWakeCycle(4), kNeverWake);
+}
+
+TEST(TaskQueue, PriorityModeWakeMatchesVisibility)
+{
+    LiveKeyTracker tracker([](const SwTask &t) { return t.data[0]; });
+    TaskSetDecl decl{"s", TaskSetKind::ForEach, 0, 1, true};
+    TaskQueueUnit q(decl, 0, 1, 16, tracker);
+    q.push(5, 0, {9}, TaskIndex{});
+    q.push(6, 0, {3}, TaskIndex{});
+    EXPECT_EQ(q.nextWakeCycle(5), 6u); // first push lands at 6
+    EXPECT_EQ(q.nextWakeCycle(6), 7u); // second push still in flight
+    EXPECT_EQ(q.nextWakeCycle(7), kNeverWake);
+}
+
 // ---------------------------------------------------------- RuleEngine
 
 RuleSpec

@@ -128,6 +128,19 @@ TEST(MemorySystem, BandwidthScaleMultipliesQpi)
     EXPECT_NEAR(mem.effectiveBandwidthGBs(), 28.0, 0.01);
 }
 
+TEST(MemorySystem, EffectiveBandwidthFollowsConfiguredClock)
+{
+    // Regression: the GB/s conversion hard-coded 200 MHz, so sweeping
+    // the FPGA clock silently reported the wrong link bandwidth.
+    MemConfig cfg;
+    cfg.clockHz = 400e6;
+    MemorySystem fast(cfg);
+    // 35 B/cycle at 400 MHz = 14 GB/s (twice the stock 7 GB/s).
+    EXPECT_NEAR(fast.effectiveBandwidthGBs(), 14.0, 0.01);
+    MemorySystem stock;
+    EXPECT_NEAR(stock.effectiveBandwidthGBs(), 7.0, 0.01);
+}
+
 TEST(MemorySystem, CountsReadsAndWrites)
 {
     MemorySystem mem;
@@ -166,6 +179,26 @@ TEST(Cache, PrefetchSkipsResidentLines)
     c.access(0, 64, false);  // line 1 resident (prefetches line 2)
     c.access(1000, 0, false); // miss line 0; line 1 already resident
     EXPECT_EQ(c.prefetches(), 1u);
+}
+
+TEST(Cache, SingleLineCachePrefetchKeepsDemandLine)
+{
+    // Regression: with a one-line cache, line N+1 maps to the set
+    // just filled, so the next-line prefetch used to evict the demand
+    // line before its consumer ever hit it — every access missed.
+    QpiChannel q({64.0, 10});
+    CacheConfig cfg{64, 64, 2, 4, true}; // geometry: exactly one line
+    Cache c(cfg, q);
+    auto miss = c.access(0, 0, false);
+    ASSERT_TRUE(miss.has_value());
+    // 1 service cycle (64 B at 64 B/cycle) + 10 cycles latency.
+    EXPECT_EQ(*miss, 11u);
+    EXPECT_EQ(c.prefetches(), 0u); // degenerate geometry: skipped
+    auto hit = c.access(*miss, 8, false); // same line, after the fill
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_EQ(*hit, *miss + cfg.hitLatency);
+    EXPECT_EQ(c.hits(), 1u);
+    EXPECT_EQ(c.misses(), 1u);
 }
 
 TEST(Cache, PrefetchConsumesLinkBandwidth)
