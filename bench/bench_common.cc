@@ -1,10 +1,10 @@
 #include "bench_common.hh"
 
 #include <cmath>
-#include <cstdlib>
 #include <cstring>
 #include <fstream>
 
+#include "config/strict_num.hh"
 #include "support/logging.hh"
 #include "support/thread_pool.hh"
 
@@ -15,15 +15,85 @@ namespace {
 
 const char kUsage[] =
     "supported flags: --scale <f>  --stats-json <path>  --threads <n>  "
-    "--no-fast-forward  --bandwidth-scale <f>";
+    "--no-fast-forward  --bandwidth-scale <f>  --config <file>  "
+    "--set <section.key=value>";
 
-/** The (required) value of flag argv[i]; fatal when it is missing. */
-const char *
-flagValue(int argc, char **argv, int i)
+/**
+ * One command-line flag, normalized so "--flag value" and
+ * "--flag=value" are interchangeable for every value-taking flag.
+ */
+class FlagCursor
 {
-    if (i + 1 >= argc)
-        fatal(argv[i], " requires a value; ", kUsage);
-    return argv[i + 1];
+  public:
+    FlagCursor(int argc, char **argv) : argc_(argc), argv_(argv) {}
+
+    bool
+    next()
+    {
+        if (++i_ >= argc_)
+            return false;
+        std::string arg = argv_[i_];
+        inline_.reset();
+        name_ = arg;
+        if (arg.rfind("--", 0) == 0) {
+            size_t eq = arg.find('=');
+            if (eq != std::string::npos) {
+                name_ = arg.substr(0, eq);
+                inline_ = arg.substr(eq + 1);
+            }
+        }
+        return true;
+    }
+
+    /** The flag name, with any "=value" suffix stripped. */
+    const std::string &name() const { return name_; }
+
+    /** The flag's value; fatal when missing. */
+    std::string
+    value()
+    {
+        if (inline_)
+            return *inline_;
+        if (i_ + 1 >= argc_)
+            fatal(name_, " requires a value; ", kUsage);
+        return argv_[++i_];
+    }
+
+    /** Reject "--flag=value" spellings of valueless flags. */
+    void
+    noValue() const
+    {
+        if (inline_)
+            fatal(name_, " does not take a value; ", kUsage);
+    }
+
+  private:
+    int argc_;
+    char **argv_;
+    int i_ = 0;
+    std::string name_;
+    std::optional<std::string> inline_;
+};
+
+/** Strictly parse a numeric flag value; malformed input is fatal. */
+double
+doubleFlag(const std::string &flag, const std::string &v)
+{
+    auto d = parseStrictDouble(v);
+    if (!d)
+        fatal(flag, ": '", v, "' is not a number (strict parse: "
+              "trailing junk such as '2x' is rejected)");
+    return *d;
+}
+
+uint64_t
+unsignedFlag(const std::string &flag, const std::string &v)
+{
+    auto n = parseStrictU64(v);
+    if (!n)
+        fatal(flag, ": '", v, "' is not an unsigned integer (strict "
+              "parse: trailing junk is rejected)");
+    return *n;
 }
 
 } // namespace
@@ -32,28 +102,50 @@ Options
 parseOptions(int argc, char **argv)
 {
     Options opt;
-    for (int i = 1; i < argc; ++i) {
-        if (std::strcmp(argv[i], "--scale") == 0) {
-            opt.scale = std::atof(flagValue(argc, argv, i++));
+    bool scaleSet = false;
+    FlagCursor cur(argc, argv);
+    while (cur.next()) {
+        const std::string &flag = cur.name();
+        if (flag == "--scale") {
+            opt.scale = doubleFlag(flag, cur.value());
             if (opt.scale <= 0.0)
                 fatal("--scale must be positive");
-        } else if (std::strcmp(argv[i], "--stats-json") == 0) {
-            opt.statsJson = flagValue(argc, argv, i++);
-        } else if (std::strcmp(argv[i], "--threads") == 0) {
-            long n = std::atol(flagValue(argc, argv, i++));
+            scaleSet = true;
+        } else if (flag == "--stats-json") {
+            opt.statsJson = cur.value();
+        } else if (flag == "--threads") {
+            uint64_t n = unsignedFlag(flag, cur.value());
             if (n < 1)
                 fatal("--threads must be >= 1");
             opt.threads = static_cast<unsigned>(n);
-        } else if (std::strcmp(argv[i], "--no-fast-forward") == 0) {
+        } else if (flag == "--no-fast-forward") {
+            cur.noValue();
             opt.fastForward = false;
-        } else if (std::strcmp(argv[i], "--bandwidth-scale") == 0) {
-            opt.bandwidthScale = std::atof(flagValue(argc, argv, i++));
+        } else if (flag == "--bandwidth-scale") {
+            opt.bandwidthScale = doubleFlag(flag, cur.value());
             if (opt.bandwidthScale <= 0.0)
                 fatal("--bandwidth-scale must be positive");
+        } else if (flag == "--config") {
+            opt.configFile = cur.value();
+        } else if (flag == "--set") {
+            opt.sets.push_back(cur.value());
         } else {
             // A typo like --stat-json must not silently drop output.
-            fatal("unknown argument '", argv[i], "'; ", kUsage);
+            fatal("unknown argument '", flag, "'; ", kUsage);
         }
+    }
+
+    if (!opt.configFile.empty() || !opt.sets.empty()) {
+        // Load onto the compiled-in bench defaults so a scenario
+        // only has to name the knobs it changes; the loader routes
+        // the result through validateAccelConfig.
+        opt.scenario = loadScenarioFile(opt.configFile,
+                                        defaultAccelConfig(),
+                                        opt.sets);
+        // An explicit --scale beats the file's [workload] scale (CI
+        // smoke-sweeps the corpus at tiny scale this way).
+        if (opt.scenario->hasScale && !scaleSet)
+            opt.scale = opt.scenario->scale;
     }
     return opt;
 }
@@ -157,9 +249,13 @@ defaultAccelConfig()
 AccelConfig
 defaultAccelConfig(const Options &opt)
 {
-    AccelConfig cfg = defaultAccelConfig();
-    cfg.fastForward = opt.fastForward;
-    cfg.mem.bandwidthScale = opt.bandwidthScale;
+    // --config replaces the compiled-in base; the remaining flags
+    // compose with whatever base is active (--no-fast-forward can
+    // only disable, --bandwidth-scale multiplies the scenario's).
+    AccelConfig cfg =
+        opt.scenario ? opt.scenario->accel : defaultAccelConfig();
+    cfg.fastForward = cfg.fastForward && opt.fastForward;
+    cfg.mem.bandwidthScale *= opt.bandwidthScale;
     return cfg;
 }
 

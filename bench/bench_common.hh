@@ -10,10 +10,12 @@
 
 #include <chrono>
 #include <functional>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "apps/bfs.hh"
+#include "config/loader.hh"
 #include "apps/dmr.hh"
 #include "apps/lu.hh"
 #include "apps/mst.hh"
@@ -48,12 +50,27 @@ struct Options
      * the whole sweep into the memory-bound regime.
      */
     double bandwidthScale = 1.0;
+    /**
+     * --config: declarative scenario file (see docs/configs.md).
+     * Parsed and validated by parseOptions; the loaded machine knobs
+     * become the base configuration defaultAccelConfig(opt) returns,
+     * and a [workload] scale in the file applies unless --scale was
+     * given explicitly on the command line.
+     */
+    std::string configFile;
+    /** --set section.key=value overrides, applied after --config. */
+    std::vector<std::string> sets;
+    /** The loaded scenario when --config/--set were given. */
+    std::optional<Scenario> scenario;
 };
 
 /**
  * Parse the shared bench flags (--scale, --stats-json, --threads,
- * --no-fast-forward, --bandwidth-scale). Unknown or malformed
- * arguments are fatal — a typoed flag must not silently drop output.
+ * --no-fast-forward, --bandwidth-scale, --config, --set). Both
+ * "--flag value" and "--flag=value" spellings are accepted. Unknown
+ * flags are fatal — a typoed flag must not silently drop output —
+ * and numeric values are parsed strictly: "--scale 2x" is a parse
+ * error, not a silent 2.0.
  */
 Options parseOptions(int argc, char **argv);
 

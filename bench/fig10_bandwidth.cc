@@ -32,12 +32,17 @@ main(int argc, char **argv)
                 "utilization vs QPI bandwidth ===\n\n");
 
     std::vector<SweepJob> jobs;
+    // Relative to the active base (compiled default, or --config
+    // scenario): --bandwidth-scale 0.05 or a bandwidth-starved
+    // scenario shifts the whole sweep into the memory-bound regime.
+    const AccelConfig baseCfg = defaultAccelConfig(opt);
+    const double baseGBs = baseCfg.mem.qpi.bytesPerCycle *
+                           baseCfg.mem.bandwidthScale *
+                           baseCfg.mem.clockHz / 1e9;
     for (Bench b : kAllBenches) {
         for (double s : scales) {
-            AccelConfig cfg = defaultAccelConfig(opt);
-            // Relative to the base: --bandwidth-scale 0.05 shifts the
-            // whole sweep into the memory-bound regime.
-            cfg.mem.bandwidthScale = s * opt.bandwidthScale;
+            AccelConfig cfg = baseCfg;
+            cfg.mem.bandwidthScale *= s;
             jobs.push_back({b, cfg, false});
         }
     }
@@ -61,7 +66,7 @@ main(int argc, char **argv)
             runs.push(std::move(j));
             table.addRow(
                 {strprintf("x%.0f", s),
-                 strprintf("%.1f", 7.0 * s * opt.bandwidthScale),
+                 strprintf("%.1f", baseGBs * s),
                  strprintf("%.4f", run.seconds),
                  strprintf("%.2fx", base_seconds / run.seconds),
                  strprintf("%.3f", run.rr.utilization),

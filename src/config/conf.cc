@@ -1,0 +1,421 @@
+#include "config/conf.hh"
+
+#include <cctype>
+#include <cmath>
+#include <cstdint>
+#include <fstream>
+#include <limits>
+#include <sstream>
+
+#include "config/strict_num.hh"
+#include "support/logging.hh"
+
+namespace apir {
+
+namespace {
+
+/** Conventional variable section consulted by $(var) lookup. */
+const char kDefineSection[] = "define";
+
+std::string
+trim(const std::string &s)
+{
+    size_t b = 0, e = s.size();
+    while (b < e && std::isspace(static_cast<unsigned char>(s[b])))
+        ++b;
+    while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1])))
+        --e;
+    return s.substr(b, e - b);
+}
+
+bool
+isIdentifier(const std::string &s)
+{
+    if (s.empty())
+        return false;
+    if (!std::isalpha(static_cast<unsigned char>(s.front())) &&
+        s.front() != '_')
+        return false;
+    for (char c : s)
+        if (!std::isalnum(static_cast<unsigned char>(c)) && c != '_')
+            return false;
+    return true;
+}
+
+/** Strip a trailing comment; '#' inside quotes is literal. */
+std::string
+stripComment(const std::string &line)
+{
+    char quote = 0;
+    for (size_t i = 0; i < line.size(); ++i) {
+        char c = line[i];
+        if (quote) {
+            if (c == quote)
+                quote = 0;
+        } else if (c == '\'' || c == '"') {
+            quote = c;
+        } else if (c == '#') {
+            return line.substr(0, i);
+        }
+    }
+    return line;
+}
+
+/** Strip one pair of matching surrounding quotes, if present. */
+std::string
+unquote(const std::string &s)
+{
+    if (s.size() >= 2 &&
+        (s.front() == '\'' || s.front() == '"') &&
+        s.back() == s.front())
+        return s.substr(1, s.size() - 2);
+    return s;
+}
+
+/** Directory prefix of `path`, including the trailing separator. */
+std::string
+dirOf(const std::string &path)
+{
+    size_t slash = path.find_last_of('/');
+    return slash == std::string::npos ? std::string()
+                                      : path.substr(0, slash + 1);
+}
+
+/** "accel.ruleLanes" / bare "name" knob spelling for diagnostics. */
+std::string
+knobName(const std::string &section, const std::string &key)
+{
+    return section.empty() ? key : section + "." + key;
+}
+
+} // namespace
+
+std::string
+ConfLocation::str() const
+{
+    if (line <= 0)
+        return file;
+    std::ostringstream os;
+    os << file << ":" << line;
+    return os.str();
+}
+
+/** Line-oriented parser; recurses for `include` directives. */
+class ConfParser
+{
+  public:
+    explicit ConfParser(ConfFile &out) : out_(out) {}
+
+    void
+    parseFile(const std::string &path, int depth)
+    {
+        if (depth > kMaxIncludeDepth)
+            fatal(path, ": include nesting exceeds ", kMaxIncludeDepth,
+                  " levels (include cycle?)");
+        std::ifstream is(path);
+        if (!is)
+            fatal("cannot open config file '", path, "'");
+        std::ostringstream text;
+        text << is.rdbuf();
+        parseText(text.str(), path, depth);
+    }
+
+    void
+    parseText(const std::string &text, const std::string &name,
+              int depth)
+    {
+        // Each file (included or not) starts in the global section;
+        // the including file's section context is restored after.
+        std::string saved = section_;
+        section_.clear();
+
+        std::istringstream is(text);
+        std::string line;
+        int lineno = 0;
+        while (std::getline(is, line)) {
+            ++lineno;
+            parseLine(line, ConfLocation{name, lineno}, depth);
+        }
+        section_ = saved;
+    }
+
+  private:
+    static constexpr int kMaxIncludeDepth = 16;
+
+    void
+    parseLine(const std::string &rawLine, const ConfLocation &loc,
+              int depth)
+    {
+        std::string line = trim(stripComment(rawLine));
+        if (line.empty())
+            return;
+
+        if (line.front() == '[') {
+            if (line.back() != ']')
+                fatal(loc.str(), ": malformed section header '", line,
+                      "' (expected [name])");
+            std::string name = trim(line.substr(1, line.size() - 2));
+            if (!isIdentifier(name))
+                fatal(loc.str(), ": invalid section name '", name, "'");
+            section_ = name;
+            return;
+        }
+
+        if (line.rfind("include", 0) == 0 &&
+            (line.size() == 7 ||
+             std::isspace(static_cast<unsigned char>(line[7])) ||
+             line[7] == '\'' || line[7] == '"')) {
+            std::string arg = unquote(trim(line.substr(7)));
+            if (arg.empty())
+                fatal(loc.str(), ": include requires a file name");
+            arg = out_.substitute(arg, section_, loc);
+            std::string path =
+                arg.front() == '/' ? arg : dirOf(loc.file) + arg;
+            parseFile(path, depth + 1);
+            return;
+        }
+
+        size_t eq = line.find('=');
+        if (eq == std::string::npos)
+            fatal(loc.str(), ": expected 'key = value', '[section]' or "
+                  "'include \"file\"', got '", line, "'");
+        std::string key = trim(line.substr(0, eq));
+        if (!isIdentifier(key))
+            fatal(loc.str(), ": invalid key '", key, "'");
+        std::string value = unquote(trim(line.substr(eq + 1)));
+        value = out_.substitute(value, section_, loc);
+        out_.assign(section_, key, std::move(value), loc);
+    }
+
+    ConfFile &out_;
+    std::string section_;
+};
+
+ConfFile
+ConfFile::parseFile(const std::string &path)
+{
+    ConfFile cf;
+    cf.path_ = path;
+    ConfParser(cf).parseFile(path, 0);
+    return cf;
+}
+
+ConfFile
+ConfFile::parseString(const std::string &text, const std::string &name)
+{
+    ConfFile cf;
+    ConfParser(cf).parseText(text, name, 0);
+    return cf;
+}
+
+void
+ConfFile::applyOverride(const std::string &assignment,
+                        const std::string &what)
+{
+    ConfLocation loc{"<" + what + " " + assignment + ">", 0};
+    size_t eq = assignment.find('=');
+    if (eq == std::string::npos)
+        fatal(loc.str(), ": expected section.key=value");
+    std::string lhs = trim(assignment.substr(0, eq));
+    std::string section, key;
+    size_t dot = lhs.find('.');
+    if (dot == std::string::npos) {
+        key = lhs;
+    } else {
+        section = lhs.substr(0, dot);
+        key = lhs.substr(dot + 1);
+        if (!isIdentifier(section))
+            fatal(loc.str(), ": invalid section name '", section, "'");
+    }
+    if (!isIdentifier(key))
+        fatal(loc.str(), ": invalid key '", key, "'");
+    std::string value = unquote(trim(assignment.substr(eq + 1)));
+    value = substitute(value, section, loc);
+    assign(section, key, std::move(value), loc);
+}
+
+ConfFile::Section &
+ConfFile::sectionRef(const std::string &name)
+{
+    for (Section &s : sections_)
+        if (s.name == name)
+            return s;
+    sections_.push_back(Section{name, {}});
+    return sections_.back();
+}
+
+const ConfFile::Section *
+ConfFile::sectionPtr(const std::string &name) const
+{
+    for (const Section &s : sections_)
+        if (s.name == name)
+            return &s;
+    return nullptr;
+}
+
+void
+ConfFile::assign(const std::string &section, const std::string &key,
+                 std::string value, const ConfLocation &loc)
+{
+    Section &s = sectionRef(section);
+    for (Entry &e : s.entries) {
+        if (e.key == key) {
+            // Later assignments win: the SESC idiom of including a
+            // base file then overriding, and the --set mechanism.
+            e.value = ConfValue{std::move(value), loc};
+            return;
+        }
+    }
+    s.entries.push_back(Entry{key, ConfValue{std::move(value), loc}});
+}
+
+std::string
+ConfFile::substitute(const std::string &text, const std::string &section,
+                     const ConfLocation &loc) const
+{
+    std::string out;
+    size_t pos = 0;
+    while (true) {
+        size_t dollar = text.find("$(", pos);
+        if (dollar == std::string::npos) {
+            out += text.substr(pos);
+            return out;
+        }
+        size_t close = text.find(')', dollar + 2);
+        if (close == std::string::npos)
+            fatal(loc.str(), ": unterminated $( in '", text, "'");
+        std::string name = text.substr(dollar + 2, close - dollar - 2);
+        // Current section first, then [define], then global — the
+        // innermost definition wins, like SESC's per-component
+        // overrides. Referenced values are already substituted.
+        const ConfValue *v = find(section, name);
+        if (!v)
+            v = find(kDefineSection, name);
+        if (!v)
+            v = find("", name);
+        if (!v)
+            fatal(loc.str(), ": undefined variable $(", name, ")");
+        out += text.substr(pos, dollar - pos);
+        out += v->raw;
+        pos = close + 1;
+    }
+}
+
+bool
+ConfFile::has(const std::string &section, const std::string &key) const
+{
+    return find(section, key) != nullptr;
+}
+
+const ConfValue *
+ConfFile::find(const std::string &section, const std::string &key) const
+{
+    const Section *s = sectionPtr(section);
+    if (!s)
+        return nullptr;
+    for (const Entry &e : s->entries)
+        if (e.key == key)
+            return &e.value;
+    return nullptr;
+}
+
+const ConfValue &
+ConfFile::get(const std::string &section, const std::string &key) const
+{
+    const ConfValue *v = find(section, key);
+    if (!v)
+        fatal(path_.empty() ? "<config>" : path_,
+              ": missing required knob '", knobName(section, key), "'");
+    return *v;
+}
+
+double
+ConfFile::getDouble(const std::string &section,
+                    const std::string &key) const
+{
+    const ConfValue &v = get(section, key);
+    std::string err;
+    auto num = evalArith(v.raw, &err);
+    if (!num)
+        fatal(v.loc.str(), ": value '", v.raw, "' for '",
+              knobName(section, key), "' is not a number: ", err);
+    return *num;
+}
+
+uint64_t
+ConfFile::getU64(const std::string &section,
+                 const std::string &key) const
+{
+    const ConfValue &v = get(section, key);
+    if (auto i = parseStrictU64(v.raw))
+        return *i;
+    std::string err;
+    auto num = evalArith(v.raw, &err);
+    if (!num)
+        fatal(v.loc.str(), ": value '", v.raw, "' for '",
+              knobName(section, key),
+              "' is not an unsigned integer: ", err);
+    // 2^53 bounds exactly-representable integers; every real knob
+    // (cycle counts, capacities) fits far below it.
+    if (*num < 0.0 || *num > 9.007199254740992e15 ||
+        std::nearbyint(*num) != *num)
+        fatal(v.loc.str(), ": value '", v.raw, "' for '",
+              knobName(section, key),
+              "' must evaluate to a non-negative integer (got ",
+              *num, ")");
+    return static_cast<uint64_t>(*num);
+}
+
+uint32_t
+ConfFile::getU32(const std::string &section,
+                 const std::string &key) const
+{
+    uint64_t v = getU64(section, key);
+    if (v > std::numeric_limits<uint32_t>::max()) {
+        const ConfValue &cv = get(section, key);
+        fatal(cv.loc.str(), ": value '", cv.raw, "' for '",
+              knobName(section, key), "' exceeds 32 bits");
+    }
+    return static_cast<uint32_t>(v);
+}
+
+bool
+ConfFile::getBool(const std::string &section,
+                  const std::string &key) const
+{
+    const ConfValue &v = get(section, key);
+    auto b = parseStrictBool(v.raw);
+    if (!b)
+        fatal(v.loc.str(), ": value '", v.raw, "' for '",
+              knobName(section, key),
+              "' is not a boolean (expected true/false/1/0)");
+    return *b;
+}
+
+std::string
+ConfFile::getString(const std::string &section,
+                    const std::string &key) const
+{
+    return get(section, key).raw;
+}
+
+std::vector<std::string>
+ConfFile::sections() const
+{
+    std::vector<std::string> out;
+    for (const Section &s : sections_)
+        out.push_back(s.name);
+    return out;
+}
+
+std::vector<std::string>
+ConfFile::keys(const std::string &section) const
+{
+    std::vector<std::string> out;
+    if (const Section *s = sectionPtr(section))
+        for (const Entry &e : s->entries)
+            out.push_back(e.key);
+    return out;
+}
+
+} // namespace apir

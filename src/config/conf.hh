@@ -1,0 +1,152 @@
+/**
+ * @file
+ * SESC-style declarative configuration files (the ROADMAP's scenario
+ * format): `key = value` assignments grouped into `[section]` blocks,
+ * `#` comments, `$(var)` substitution against earlier keys, simple
+ * arithmetic in numeric values ("2*8", "(64+4)/2"), and
+ * `include "file"` directives resolved relative to the including
+ * file. Every value remembers where it came from, so typed accessors
+ * report malformed or out-of-range input as a located, fatal
+ * diagnostic — never a silent default.
+ *
+ * The grammar is deliberately line-oriented and tiny:
+ *
+ *     # comment to end of line
+ *     name = 'harp-default'        # global (section "") assignment
+ *     [accel]
+ *     pipelinesPerSet = 4
+ *     ruleLanes       = 2*16       # arithmetic in numeric context
+ *     [define]                     # conventional variable section
+ *     lanes = 64
+ *     [qpi]
+ *     bytesPerCycle = $(lanes)/2   # substitution, then arithmetic
+ *     include "common.inc"         # spliced in place
+ *
+ * Later assignments to the same section.key override earlier ones
+ * (the SESC include-then-override idiom); `--set` overrides reuse
+ * exactly this rule.
+ */
+
+#ifndef APIR_CONFIG_CONF_HH
+#define APIR_CONFIG_CONF_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace apir {
+
+/** Where a value was written: file (or pseudo-file) plus 1-based line. */
+struct ConfLocation
+{
+    std::string file;
+    int line = 0;
+
+    /** "scenarios/harp.conf:12"-style rendering for diagnostics. */
+    std::string str() const;
+};
+
+/** One assigned value: substituted text plus its source location. */
+struct ConfValue
+{
+    std::string raw; //!< value text after $(var) substitution
+    ConfLocation loc;
+};
+
+/** A parsed configuration file (plus any applied overrides). */
+class ConfFile
+{
+  public:
+    ConfFile() = default;
+
+    /**
+     * Parse `path` (and, recursively, its includes). Any lexical
+     * error — unreadable file, malformed line, undefined $(var),
+     * include cycle — is a located fatal diagnostic.
+     */
+    static ConfFile parseFile(const std::string &path);
+
+    /** Parse in-memory text; `name` labels diagnostics. */
+    static ConfFile parseString(const std::string &text,
+                                const std::string &name = "<string>");
+
+    /**
+     * Apply one "section.key=value" override (the --set flag). The
+     * value goes through the same $(var) substitution as file text;
+     * `what` labels the pseudo-location in diagnostics.
+     */
+    void applyOverride(const std::string &assignment,
+                       const std::string &what = "--set");
+
+    /** The file parseFile was given ("" for parseString). */
+    const std::string &path() const { return path_; }
+
+    bool has(const std::string &section, const std::string &key) const;
+
+    /** Lookup; nullptr when absent. */
+    const ConfValue *find(const std::string &section,
+                          const std::string &key) const;
+
+    /** Lookup; fatal (naming section.key) when absent. */
+    const ConfValue &get(const std::string &section,
+                         const std::string &key) const;
+
+    /**
+     * Typed strict accessors. Numeric accessors accept a plain
+     * number or an arithmetic expression; anything else ("2x",
+     * "fast", "") is a located fatal diagnostic naming the knob.
+     * Integer accessors additionally require an integral,
+     * in-range, non-negative result.
+     */
+    double getDouble(const std::string &section,
+                     const std::string &key) const;
+    uint64_t getU64(const std::string &section,
+                    const std::string &key) const;
+    uint32_t getU32(const std::string &section,
+                    const std::string &key) const;
+    bool getBool(const std::string &section,
+                 const std::string &key) const;
+    std::string getString(const std::string &section,
+                          const std::string &key) const;
+
+    /** Section names in first-appearance order ("" = global). */
+    std::vector<std::string> sections() const;
+
+    /** Keys of `section` in first-assignment order. */
+    std::vector<std::string> keys(const std::string &section) const;
+
+  private:
+    struct Entry
+    {
+        std::string key;
+        ConfValue value;
+    };
+    struct Section
+    {
+        std::string name;
+        std::vector<Entry> entries;
+    };
+
+    friend class ConfParser;
+
+    Section &sectionRef(const std::string &name);
+    const Section *sectionPtr(const std::string &name) const;
+    void assign(const std::string &section, const std::string &key,
+                std::string value, const ConfLocation &loc);
+
+    /**
+     * Resolve every $(var) in `text` against already-assigned keys
+     * (`section` first, then [define], then global); undefined
+     * variables are fatal at `loc`.
+     */
+    std::string substitute(const std::string &text,
+                           const std::string &section,
+                           const ConfLocation &loc) const;
+
+    std::string path_;
+    std::vector<Section> sections_;
+};
+
+} // namespace apir
+
+#endif // APIR_CONFIG_CONF_HH

@@ -1,0 +1,249 @@
+#include "config/strict_num.hh"
+
+#include <cctype>
+#include <cerrno>
+#include <cmath>
+#include <cstdlib>
+
+namespace apir {
+
+namespace {
+
+/** True when `c` could start a number (strtod also accepts these). */
+bool
+numberStart(char c)
+{
+    return std::isdigit(static_cast<unsigned char>(c)) || c == '+' ||
+           c == '-' || c == '.';
+}
+
+} // namespace
+
+std::optional<double>
+parseStrictDouble(const std::string &s)
+{
+    // strtod skips leading whitespace and accepts "inf"/"nan"
+    // spellings; a strict numeric token allows neither.
+    if (s.empty() || !numberStart(s.front()))
+        return std::nullopt;
+    errno = 0;
+    char *end = nullptr;
+    double v = std::strtod(s.c_str(), &end);
+    if (end != s.c_str() + s.size() || errno == ERANGE ||
+        !std::isfinite(v))
+        return std::nullopt;
+    return v;
+}
+
+std::optional<int64_t>
+parseStrictInt(const std::string &s)
+{
+    if (s.empty() || !numberStart(s.front()) || s.front() == '.')
+        return std::nullopt;
+    errno = 0;
+    char *end = nullptr;
+    long long v = std::strtoll(s.c_str(), &end, 10);
+    if (end != s.c_str() + s.size() || errno == ERANGE)
+        return std::nullopt;
+    return static_cast<int64_t>(v);
+}
+
+std::optional<uint64_t>
+parseStrictU64(const std::string &s)
+{
+    // strtoull wraps negative inputs around instead of failing, so
+    // reject any minus sign up front ("-0" included).
+    if (s.empty() || s.find('-') != std::string::npos ||
+        !numberStart(s.front()) || s.front() == '.')
+        return std::nullopt;
+    errno = 0;
+    char *end = nullptr;
+    unsigned long long v = std::strtoull(s.c_str(), &end, 10);
+    if (end != s.c_str() + s.size() || errno == ERANGE)
+        return std::nullopt;
+    return static_cast<uint64_t>(v);
+}
+
+std::optional<bool>
+parseStrictBool(const std::string &s)
+{
+    if (s == "true" || s == "1")
+        return true;
+    if (s == "false" || s == "0")
+        return false;
+    return std::nullopt;
+}
+
+namespace {
+
+/** Recursive-descent evaluator: expr := term {(+|-) term}. */
+class ArithParser
+{
+  public:
+    explicit ArithParser(const std::string &s) : s_(s) {}
+
+    std::optional<double>
+    run(std::string *err)
+    {
+        err_ = err;
+        auto v = expr();
+        if (!v)
+            return std::nullopt;
+        skipSpace();
+        if (pos_ != s_.size()) {
+            fail("unexpected trailing text '" + s_.substr(pos_) + "'");
+            return std::nullopt;
+        }
+        if (!std::isfinite(*v)) {
+            fail("non-finite result");
+            return std::nullopt;
+        }
+        return v;
+    }
+
+  private:
+    void
+    fail(const std::string &msg)
+    {
+        if (err_ && err_->empty())
+            *err_ = msg;
+    }
+
+    void
+    skipSpace()
+    {
+        while (pos_ < s_.size() &&
+               std::isspace(static_cast<unsigned char>(s_[pos_])))
+            ++pos_;
+    }
+
+    bool
+    eat(char c)
+    {
+        skipSpace();
+        if (pos_ < s_.size() && s_[pos_] == c) {
+            ++pos_;
+            return true;
+        }
+        return false;
+    }
+
+    std::optional<double>
+    expr()
+    {
+        auto lhs = term();
+        while (lhs) {
+            if (eat('+')) {
+                auto rhs = term();
+                if (!rhs)
+                    return std::nullopt;
+                lhs = *lhs + *rhs;
+            } else if (eat('-')) {
+                auto rhs = term();
+                if (!rhs)
+                    return std::nullopt;
+                lhs = *lhs - *rhs;
+            } else {
+                break;
+            }
+        }
+        return lhs;
+    }
+
+    std::optional<double>
+    term()
+    {
+        auto lhs = factor();
+        while (lhs) {
+            if (eat('*')) {
+                auto rhs = factor();
+                if (!rhs)
+                    return std::nullopt;
+                lhs = *lhs * *rhs;
+            } else if (eat('/')) {
+                auto rhs = factor();
+                if (!rhs)
+                    return std::nullopt;
+                if (*rhs == 0.0) {
+                    fail("division by zero");
+                    return std::nullopt;
+                }
+                lhs = *lhs / *rhs;
+            } else if (eat('%')) {
+                auto rhs = factor();
+                if (!rhs)
+                    return std::nullopt;
+                if (*rhs == 0.0) {
+                    fail("modulo by zero");
+                    return std::nullopt;
+                }
+                lhs = std::fmod(*lhs, *rhs);
+            } else {
+                break;
+            }
+        }
+        return lhs;
+    }
+
+    std::optional<double>
+    factor()
+    {
+        skipSpace();
+        if (eat('-')) {
+            auto v = factor();
+            if (!v)
+                return std::nullopt;
+            return -*v;
+        }
+        if (eat('+'))
+            return factor();
+        if (eat('(')) {
+            auto v = expr();
+            if (!v)
+                return std::nullopt;
+            if (!eat(')')) {
+                fail("missing ')'");
+                return std::nullopt;
+            }
+            return v;
+        }
+        if (pos_ >= s_.size() || !numberStart(s_[pos_])) {
+            fail(pos_ >= s_.size()
+                     ? std::string("unexpected end of expression")
+                     : "unexpected character '" +
+                           std::string(1, s_[pos_]) + "'");
+            return std::nullopt;
+        }
+        errno = 0;
+        char *end = nullptr;
+        double v = std::strtod(s_.c_str() + pos_, &end);
+        size_t consumed = static_cast<size_t>(end - (s_.c_str() + pos_));
+        if (consumed == 0 || errno == ERANGE || !std::isfinite(v)) {
+            fail("malformed number at '" + s_.substr(pos_) + "'");
+            return std::nullopt;
+        }
+        pos_ += consumed;
+        return v;
+    }
+
+    const std::string &s_;
+    size_t pos_ = 0;
+    std::string *err_ = nullptr;
+};
+
+} // namespace
+
+std::optional<double>
+evalArith(const std::string &s, std::string *err)
+{
+    if (err)
+        err->clear();
+    if (s.empty()) {
+        if (err)
+            *err = "empty expression";
+        return std::nullopt;
+    }
+    return ArithParser(s).run(err);
+}
+
+} // namespace apir

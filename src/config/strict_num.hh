@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Strict scalar parsing shared by the config-file accessors and the
+ * bench command lines. The std::atof/std::atol family silently
+ * accepts trailing junk ("2x" parses as 2) and signals errors with
+ * in-band sentinel values; these helpers consume the whole token or
+ * return nothing, so every malformed value becomes a diagnostic
+ * instead of a silently wrong run.
+ */
+
+#ifndef APIR_CONFIG_STRICT_NUM_HH
+#define APIR_CONFIG_STRICT_NUM_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace apir {
+
+/**
+ * Parse `s` as a finite floating-point number. The entire string
+ * must be consumed: no leading/trailing whitespace, no trailing
+ * junk, no "inf"/"nan", no empty input.
+ */
+std::optional<double> parseStrictDouble(const std::string &s);
+
+/** Parse `s` as a base-10 signed integer; whole-string, no junk. */
+std::optional<int64_t> parseStrictInt(const std::string &s);
+
+/** Parse `s` as a base-10 unsigned integer; rejects "-0" spellings. */
+std::optional<uint64_t> parseStrictU64(const std::string &s);
+
+/** Parse "true"/"false"/"1"/"0" (exactly; no case folding). */
+std::optional<bool> parseStrictBool(const std::string &s);
+
+/**
+ * Evaluate `s` as an arithmetic expression over numbers with
+ * + - * / %, unary minus, and parentheses (the SESC config idiom:
+ * "2*8", "($(issue)*$(issue)+0.1)/16" after substitution). Returns
+ * nothing and sets `err` (when non-null) on malformed input,
+ * division by zero, or a non-finite result. A plain number is a
+ * valid expression, so this subsumes parseStrictDouble.
+ */
+std::optional<double> evalArith(const std::string &s,
+                                std::string *err = nullptr);
+
+} // namespace apir
+
+#endif // APIR_CONFIG_STRICT_NUM_HH

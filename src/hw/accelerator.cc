@@ -10,48 +10,12 @@
 
 namespace apir {
 
-namespace {
-
-/**
- * Reject configurations the model cannot simulate before any unit is
- * built. In particular a host-fed config (hostBatch > 0) with
- * hostInterval == 0 would make hostTick() divide by zero (a SIGFPE),
- * and zero-sized structural knobs would build an accelerator with no
- * pipelines, lanes, or buffering that can only deadlock.
- */
-void
-validateConfig(const AccelConfig &cfg)
-{
-    auto require = [](bool ok, const char *what) {
-        if (!ok)
-            fatal("invalid AccelConfig: ", what);
-    };
-    require(cfg.pipelinesPerSet > 0, "pipelinesPerSet must be >= 1");
-    require(cfg.ruleLanes > 0, "ruleLanes must be >= 1");
-    require(cfg.queueBanks > 0, "queueBanks must be >= 1");
-    require(cfg.queueBankCapacity > 0, "queueBankCapacity must be >= 1");
-    require(cfg.lsuEntries > 0, "lsuEntries must be >= 1");
-    require(cfg.fifoDepth > 0, "fifoDepth must be >= 1");
-    require(cfg.rendezvousEntries > 0, "rendezvousEntries must be >= 1");
-    require(cfg.clockHz > 0.0, "clockHz must be positive");
-    require(cfg.hostBatch == 0 || cfg.hostInterval > 0,
-            "hostBatch > 0 requires hostInterval >= 1 (host-fed "
-            "injection fires every hostInterval cycles)");
-    require(cfg.deadlockCycles == 0 ||
-                cfg.deadlockCycles > cfg.otherwiseTimeout,
-            "deadlockCycles must exceed otherwiseTimeout (the "
-            "rendezvous liveness fallback must get a chance to fire "
-            "before the watchdog declares deadlock)");
-}
-
-} // namespace
-
 Accelerator::Accelerator(const AcceleratorSpec &spec,
                          const AccelConfig &cfg, MemorySystem &mem)
     : spec_(spec), cfg_(cfg), mem_(mem), tracker_(spec.orderKey)
 {
     spec_.verify();
-    validateConfig(cfg_);
+    validateAccelConfig(cfg_);
     deadlockThreshold_ = cfg_.deadlockCycles
                              ? cfg_.deadlockCycles
                              : cfg_.otherwiseTimeout * 64 + 100000;

@@ -1,0 +1,40 @@
+#include "hw/config.hh"
+
+#include "support/logging.hh"
+
+namespace apir {
+
+void
+validateAccelConfig(const AccelConfig &cfg)
+{
+    auto require = [](bool ok, const char *what) {
+        if (!ok)
+            fatal("invalid AccelConfig: ", what);
+    };
+    require(cfg.pipelinesPerSet > 0, "pipelinesPerSet must be >= 1");
+    require(cfg.ruleLanes > 0, "ruleLanes must be >= 1");
+    require(cfg.queueBanks > 0, "queueBanks must be >= 1");
+    require(cfg.queueBankCapacity > 0, "queueBankCapacity must be >= 1");
+    require(cfg.lsuEntries > 0, "lsuEntries must be >= 1");
+    require(cfg.fifoDepth > 0, "fifoDepth must be >= 1");
+    require(cfg.rendezvousEntries > 0, "rendezvousEntries must be >= 1");
+    require(cfg.otherwiseTimeout > 0,
+            "otherwiseTimeout must be >= 1 (the liveness fallback "
+            "needs a finite, non-zero stall window)");
+    require(cfg.maxCycles > 0, "maxCycles must be >= 1");
+    require(cfg.clockHz > 0.0, "clockHz must be positive");
+    require(cfg.hostBatch == 0 || cfg.hostInterval > 0,
+            "hostBatch > 0 requires hostInterval >= 1 (host-fed "
+            "injection fires every hostInterval cycles)");
+    require(cfg.deadlockCycles == 0 ||
+                cfg.deadlockCycles > cfg.otherwiseTimeout,
+            "deadlockCycles must exceed otherwiseTimeout (the "
+            "rendezvous liveness fallback must get a chance to fire "
+            "before the watchdog declares deadlock)");
+    require(cfg.deadlockCycles <= cfg.maxCycles,
+            "deadlockCycles must not exceed maxCycles (the watchdog "
+            "would never fire before the cycle wall)");
+    validateMemConfig(cfg.mem);
+}
+
+} // namespace apir

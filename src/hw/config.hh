@@ -98,6 +98,19 @@ struct AccelConfig
     MemConfig mem;
 };
 
+/**
+ * Reject configurations the model cannot simulate, with a diagnostic
+ * naming the offending knob. A host-fed config (hostBatch > 0) with
+ * hostInterval == 0 would make hostTick() divide by zero (a SIGFPE),
+ * zero-sized structural knobs would build an accelerator with no
+ * pipelines, lanes, or buffering that can only deadlock, and the
+ * nested MemConfig is checked by validateMemConfig. This is the one
+ * shared validation path: the Accelerator constructor calls it for
+ * C++-built configs and the scenario loader calls it for file-loaded
+ * ones.
+ */
+void validateAccelConfig(const AccelConfig &cfg);
+
 } // namespace apir
 
 #endif // APIR_HW_CONFIG_HH

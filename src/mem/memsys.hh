@@ -37,6 +37,18 @@ struct MemConfig
     double clockHz = 200e6;
 };
 
+/**
+ * Reject memory configurations the model cannot simulate, with a
+ * diagnostic naming the offending knob (config-file spelling:
+ * mem.*, cache.*, qpi.*). A zero clock would divide by zero in the
+ * bandwidth conversion, zero/degenerate cache geometry would divide
+ * by zero on every access, and a zero-bandwidth link would never
+ * complete a transfer. Called by the MemorySystem constructor and by
+ * validateAccelConfig, so C++-built and file-loaded configurations
+ * hit the same checks.
+ */
+void validateMemConfig(const MemConfig &cfg);
+
 /** Cache + QPI + functional image. */
 class MemorySystem
 {

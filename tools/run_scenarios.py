@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""Smoke-sweep the scenarios/ corpus and record BENCH_scenarios.json.
+
+Runs fig9_speedup once per scenarios/*.conf at a small scale with
+--stats-json, fails loudly if any scenario fails to load, validate, or
+run, checks that harp_default.conf reproduces the no-config stats-json
+byte-for-byte, and writes a deterministic per-scenario/per-benchmark
+record (no timestamps, no wall-clock) so the corpus trajectory can be
+diffed across commits.
+
+Usage:
+  tools/run_scenarios.py [--build-dir build] [--scale 0.1]
+                         [--out BENCH_scenarios.json]
+
+Exit status is non-zero on the first failing scenario.
+"""
+
+import argparse
+import filecmp
+import json
+import pathlib
+import subprocess
+import sys
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+
+# Stats fields captured per (scenario, benchmark). Deliberately the
+# machine-independent simulation outputs: identical across hosts for a
+# given commit, so the record is diffable.
+FIELDS = ("cycles", "seconds", "utilization", "tasks_executed", "squashed")
+
+
+def run_fig9(bench, outdir, tag, scale, extra):
+    stats = outdir / f"{tag}.stats.json"
+    cmd = [str(bench), "--scale", str(scale), "--stats-json", str(stats)] + extra
+    proc = subprocess.run(cmd, cwd=REPO, stdout=subprocess.PIPE,
+                          stderr=subprocess.STDOUT, text=True)
+    if proc.returncode != 0:
+        sys.stderr.write(f"FAIL [{tag}]: {' '.join(cmd)}\n{proc.stdout}\n")
+        sys.exit(1)
+    return stats
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--build-dir", default="build")
+    ap.add_argument("--scale", type=float, default=0.1)
+    ap.add_argument("--out", default="BENCH_scenarios.json")
+    args = ap.parse_args()
+
+    bench = REPO / args.build_dir / "bench" / "fig9_speedup"
+    if not bench.exists():
+        sys.stderr.write(f"bench binary not found: {bench}\n")
+        sys.exit(1)
+
+    confs = sorted((REPO / "scenarios").glob("*.conf"))
+    if not confs:
+        sys.stderr.write("no scenarios/*.conf files found\n")
+        sys.exit(1)
+
+    outdir = REPO / args.build_dir / "scenario-smoke"
+    outdir.mkdir(parents=True, exist_ok=True)
+
+    record = {"bench": "fig9_speedup", "scale": args.scale, "scenarios": {}}
+    for conf in confs:
+        tag = conf.stem
+        stats = run_fig9(bench, outdir, tag, args.scale,
+                         ["--config", str(conf)])
+        runs = json.load(open(stats))["runs"]
+        record["scenarios"][tag] = {
+            r["benchmark"]: {f: r[f] for f in FIELDS} for r in runs
+        }
+        print(f"ok   {tag}: {len(runs)} benchmarks")
+
+    # Acceptance check: the paper-faithful scenario must be
+    # byte-identical to the compiled-in default path.
+    base = run_fig9(bench, outdir, "no-config-baseline", args.scale, [])
+    harp = outdir / "harp_default.stats.json"
+    if not filecmp.cmp(base, harp, shallow=False):
+        sys.stderr.write(
+            "FAIL: harp_default.conf stats-json differs from the "
+            f"no-config run ({harp} vs {base})\n")
+        sys.exit(1)
+    print("ok   harp_default.conf is byte-identical to the no-config run")
+
+    out = REPO / args.out
+    with open(out, "w") as f:
+        json.dump(record, f, indent=1, sort_keys=True)
+        f.write("\n")
+    print(f"wrote {out} ({len(record['scenarios'])} scenarios)")
+
+
+if __name__ == "__main__":
+    main()
