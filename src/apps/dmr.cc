@@ -283,12 +283,12 @@ buildSpecDmr(Mesh mesh, const RefineParams &params, MemorySystem &mem)
      .sink("done_line");
     b.path(sw_applied, 1).sink("done_stale");
     b.path(sw_verdict, 1)
-     .enqueue("act_retry", 0,
-              [](const Token &t) {
-                  std::array<Word, kMaxPayloadWords> p{};
-                  p[0] = t.words[0];
-                  return p;
-              })
+     .enqueueRetry("act_retry", 0,
+                   [](const Token &t) {
+                       std::array<Word, kMaxPayloadWords> p{};
+                       p[0] = t.words[0];
+                       return p;
+                   })
      .sink("squash_conflict");
     spec.pipelines.push_back(b.build());
 

@@ -272,18 +272,18 @@ buildSpecMst(const CsrGraph &g, MemorySystem &mem)
         b.path(sw_added, 1).sink("done_cycle");
     }
     b.path(sw_done, 1)
-     .enqueue("act_retry", 0,
-              [](const Token &t) {
-                  std::array<Word, kMaxPayloadWords> p = t.words;
-                  return p;
-              })
+     .enqueueRetry("act_retry", 0,
+                   [](const Token &t) {
+                       std::array<Word, kMaxPayloadWords> p = t.words;
+                       return p;
+                   })
      .sink("squash_ticket");
     b.path(sw_verdict, 1)
-     .enqueue("act_retry2", 0,
-              [](const Token &t) {
-                  std::array<Word, kMaxPayloadWords> p = t.words;
-                  return p;
-              })
+     .enqueueRetry("act_retry2", 0,
+                   [](const Token &t) {
+                       std::array<Word, kMaxPayloadWords> p = t.words;
+                       return p;
+                   })
      .sink("squash_overlap");
     spec.pipelines.push_back(b.build());
 

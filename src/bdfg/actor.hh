@@ -81,6 +81,13 @@ struct Actor
     uint8_t expandSlot = 0;
     /** Enqueue: destination task set. */
     TaskSetId enqueueSet = 0;
+    /**
+     * Enqueue: this activation is a squash-retry of the incoming
+     * task (same logical work, re-attempted). The activated task
+     * carries retries = token.retries + 1, which the liveness
+     * subsystem uses for backoff and oldest-task pinning.
+     */
+    bool retryEnqueue = false;
     /** Enqueue/AllocRule/Event: payload or parameters or event words. */
     std::function<std::array<Word, kMaxPayloadWords>(const Token &)>
         payload;

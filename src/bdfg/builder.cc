@@ -160,6 +160,23 @@ PipelineBuilder::enqueue(
 }
 
 PipelineBuilder &
+PipelineBuilder::enqueueRetry(
+    const std::string &name, TaskSetId set,
+    std::function<std::array<Word, kMaxPayloadWords>(const Token &)>
+        payload)
+{
+    Actor a;
+    a.kind = ActorKind::Enqueue;
+    a.name = name;
+    a.latency = lat_.enqueue;
+    a.enqueueSet = set;
+    a.retryEnqueue = true;
+    a.payload = std::move(payload);
+    append(std::move(a));
+    return *this;
+}
+
+PipelineBuilder &
 PipelineBuilder::commit(const std::string &name,
                         std::function<void(Token &)> fn, uint32_t latency)
 {

@@ -86,6 +86,18 @@ class PipelineBuilder
                 payload);
 
     /**
+     * Activate a squash-retry of the incoming task into `set`: same
+     * logical work, re-attempted after mis-speculation. The activated
+     * task carries an incremented retry count, which the liveness
+     * subsystem uses for exponential backoff and oldest-squashed-task
+     * line pinning (docs/liveness.md).
+     */
+    PipelineBuilder &
+    enqueueRetry(const std::string &name, TaskSetId set,
+                 std::function<std::array<Word, kMaxPayloadWords>(
+                     const Token &)> payload);
+
+    /**
      * Apply a functional side effect to program state; latency 0 =
      * template default (deep commits model multi-cycle kernels).
      */

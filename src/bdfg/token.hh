@@ -30,6 +30,7 @@ struct Token
     uint16_t laneRule = 0;   //!< which rule engine the lane is in
     uint64_t okey = 0;       //!< custom order key (0 if index-ordered)
     uint64_t serial = 0;     //!< unique id, for debugging/stats
+    uint32_t retries = 0;    //!< squash-retry count (see SwTask)
 };
 
 } // namespace apir

@@ -123,6 +123,15 @@ knobTable()
         bind("accel", "hostBatch", u32(&AccelConfig::hostBatch, 0)),
         bind("accel", "hostInterval",
              u64(&AccelConfig::hostInterval, 1)),
+        // ----------------------------------------------------- spec
+        // The squash-retry liveness subsystem (docs/liveness.md);
+        // pinOldest-requires-liveness is cross-checked by
+        // validateAccelConfig like every other cross-knob rule.
+        bind("spec", "liveness", boolean(&AccelConfig::specLiveness)),
+        bind("spec", "backoffBase",
+             u64(&AccelConfig::specBackoffBase, 1)),
+        bind("spec", "pinOldest",
+             boolean(&AccelConfig::specPinOldest)),
         // ------------------------------------------------------ mem
         bind("mem", "bandwidthScale",
              [](Scenario &s, const ConfFile &cf, const char *sec,

@@ -76,6 +76,12 @@ struct SwTask
     TaskSetId set = 0;
     TaskIndex index;
     std::array<Word, kMaxPayloadWords> data{};
+    /**
+     * How many times this logical task has been squashed and
+     * re-activated through a retry Enqueue (0 for first activations).
+     * Drives the liveness subsystem's exponential fallback backoff.
+     */
+    uint32_t retries = 0;
 };
 
 /**

@@ -19,6 +19,8 @@ Accelerator::Accelerator(const AcceleratorSpec &spec,
     deadlockThreshold_ = cfg_.deadlockCycles
                              ? cfg_.deadlockCycles
                              : cfg_.otherwiseTimeout * 64 + 100000;
+    liveness_ = std::make_unique<LivenessUnit>(cfg_, deadlockThreshold_,
+                                               mem_, tracker_);
 
     for (const RuleSpec &r : spec_.rules)
         engines_.push_back(std::make_unique<RuleEngine>(r, cfg_.ruleLanes));
@@ -26,12 +28,13 @@ Accelerator::Accelerator(const AcceleratorSpec &spec,
     for (size_t s = 0; s < spec_.sets.size(); ++s) {
         queues_.push_back(std::make_unique<TaskQueueUnit>(
             spec_.sets[s], static_cast<TaskSetId>(s), cfg_.queueBanks,
-            cfg_.queueBankCapacity, tracker_));
+            cfg_.queueBankCapacity, tracker_, liveness_.get()));
     }
 
     ctx_.cfg = &cfg_;
     ctx_.mem = &mem_;
     ctx_.tracker = &tracker_;
+    ctx_.liveness = liveness_.get();
     ctx_.engines = &engines_;
     ctx_.queues = &queues_;
     ctx_.serial = &serial_;
@@ -52,6 +55,7 @@ Accelerator::registerStats()
     for (auto &e : engines_)
         e->registerStats(registry_, "rule." + e->spec().name);
     mem_.registerStats(registry_, "mem");
+    liveness_->registerStats(registry_, "liveness");
 
     // Busy/stall/idle/token aggregates per primitive-operation kind,
     // the raw material behind the utilization curves of Figure 10.
@@ -222,9 +226,22 @@ Accelerator::run()
             lastProgressCycle_ = cycle;
         if (done())
             break;
-        if (cycle - lastProgressCycle_ > deadlockThreshold_)
+        if (cycle - lastProgressCycle_ > deadlockThreshold_) {
+            // With the liveness subsystem on, forward progress is
+            // guaranteed by protocol (backoff + oldest-task pinning);
+            // the watchdog is demoted to a checked invariant, so
+            // firing here means a protocol bug, not a workload
+            // property.
+            if (cfg_.specLiveness)
+                panic("liveness invariant violated: accelerator '",
+                      spec_.name, "' deadlocked at cycle ", cycle,
+                      " with ", tracker_.size(),
+                      " live tasks despite the squash-retry liveness "
+                      "subsystem (spec.liveness) — this is a "
+                      "simulator protocol bug");
             panic("accelerator '", spec_.name, "' deadlocked at cycle ",
                   cycle, " with ", tracker_.size(), " live tasks");
+        }
         if (cycle >= cfg_.maxCycles)
             fatal("accelerator '", spec_.name, "' exceeded the cycle wall");
 

@@ -83,6 +83,8 @@ class Accelerator
     MemorySystem &mem_;
 
     LiveKeyTracker tracker_;
+    /** Squash-retry liveness engine (backoff + oldest-task pinning). */
+    std::unique_ptr<LivenessUnit> liveness_;
     std::vector<std::unique_ptr<RuleEngine>> engines_;
     std::vector<std::unique_ptr<TaskQueueUnit>> queues_;
     std::vector<std::unique_ptr<SimFifo<Token>>> fifos_;

@@ -34,6 +34,15 @@ validateAccelConfig(const AccelConfig &cfg)
     require(cfg.deadlockCycles <= cfg.maxCycles,
             "deadlockCycles must not exceed maxCycles (the watchdog "
             "would never fire before the cycle wall)");
+    require(cfg.specBackoffBase >= 1,
+            "spec.backoffBase must be >= 1 (a zero base would erase "
+            "the exponential backoff schedule; disable the liveness "
+            "subsystem with spec.liveness = false instead)");
+    require(!cfg.specPinOldest || cfg.specLiveness,
+            "spec.pinOldest requires spec.liveness (the pinning "
+            "protocol rides the squash-retry tracking of the "
+            "speculative liveness subsystem; disable both to run "
+            "watchdog-only)");
     validateMemConfig(cfg.mem);
 }
 

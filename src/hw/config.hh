@@ -69,6 +69,31 @@ struct AccelConfig
     double clockHz = 200e6;
 
     /**
+     * Liveness subsystem for the speculative squash-retry path
+     * (docs/liveness.md): exponential fallback backoff on retry
+     * activations plus oldest-squashed-task line pinning, so every
+     * legal configuration terminates in cycles proportional to work
+     * instead of leaning on the deadlock watchdog. Config-file
+     * spelling: spec.liveness.
+     */
+    bool specLiveness = true;
+    /**
+     * Backoff base: retry k of a non-oldest squashed task becomes
+     * poppable only specBackoffBase * 2^(k-1) cycles after
+     * re-activation (capped at 2^14 and at half the watchdog
+     * window). Must be >= 1; spec.liveness = false disables the
+     * subsystem entirely. Config-file spelling: spec.backoffBase.
+     */
+    uint64_t specBackoffBase = 4;
+    /**
+     * Pin the oldest squashed task's cache lines (and grant it the
+     * reserve pin MSHR) until it commits or dies, guaranteeing
+     * monotone progress under degenerate cache geometries. Requires
+     * specLiveness. Config-file spelling: spec.pinOldest.
+     */
+    bool specPinOldest = true;
+
+    /**
      * Host feeding: if hostBatch > 0, initial tasks are injected in
      * batches of hostBatch every hostInterval cycles (the SPEC-DMR /
      * COOR-LU "tasks sent from host" mode); otherwise all initial

@@ -42,12 +42,16 @@ class SimFifo
 
     /**
      * Push at `cycle` with the producer's pipeline latency; the item
-     * becomes poppable at cycle + latency (latency >= 1).
+     * becomes poppable at cycle + latency (latency >= 1). `elastic`
+     * admits the item past nominal capacity — used for squash-retry
+     * re-activations, which may never be refused (the squashed token
+     * must drain or the pipeline deadlocks behind it).
      */
     void
-    push(uint64_t cycle, T item, uint32_t latency = 1)
+    push(uint64_t cycle, T item, uint32_t latency = 1,
+         bool elastic = false)
     {
-        APIR_ASSERT(!full(), "push into a full FIFO");
+        APIR_ASSERT(!full() || elastic, "push into a full FIFO");
         APIR_ASSERT(latency >= 1, "zero-latency push");
         items_.emplace_back(cycle + latency, std::move(item));
         maxOccupancy_ = std::max<uint64_t>(maxOccupancy_, items_.size());
@@ -82,6 +86,8 @@ class SimFifo
     }
 
     uint64_t maxOccupancy() const { return maxOccupancy_; }
+
+    const std::deque<std::pair<uint64_t, T>> &raw() const { return items_; }
 
   private:
     uint32_t capacity_;

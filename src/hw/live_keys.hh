@@ -64,6 +64,23 @@ class LiveKeyTracker
         return *keys_.begin();
     }
 
+    /**
+     * Is `k` among the `window` smallest live keys? Multiset
+     * semantics: duplicates each occupy a slot. O(window).
+     */
+    bool
+    withinOldest(const HwOrderKey &k, size_t window) const
+    {
+        auto it = keys_.begin();
+        for (size_t i = 0; i < window && it != keys_.end(); ++i, ++it) {
+            if (*it == k)
+                return true;
+            if (k < *it) // sorted: k cannot appear further right
+                return false;
+        }
+        return false;
+    }
+
   private:
     std::function<uint64_t(const SwTask &)> custom_;
     std::multiset<HwOrderKey> keys_;

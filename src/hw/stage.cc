@@ -77,6 +77,7 @@ SourceStage::doTick(uint64_t cycle)
     tok.index = task->index;
     tok.okey = okeyFn_ ? okeyFn_(*task) : 0;
     tok.serial = (*ctx_.serial)++;
+    tok.retries = task->retries;
     out_[0]->push(cycle, tok, actor_.latency);
     fired_ = true;
     ++st_.tokens;
@@ -103,6 +104,12 @@ SimpleStage::doTick(uint64_t cycle)
             eng.release(tok.lane);
         }
         ctx_.tracker->erase(tokenKey(tok));
+        if (ctx_.liveness) {
+            if (tok.retries > 0)
+                ctx_.liveness->onRetryTokenDead(tokenKey(tok));
+            else
+                ctx_.liveness->noteLiveSetChanged();
+        }
         fired_ = true;
         ++st_.tokens;
         return;
@@ -111,28 +118,36 @@ SimpleStage::doTick(uint64_t cycle)
         const Token &peek = in_->front();
         bool p = actor_.pred ? actor_.pred(peek) : peek.pred;
         SimFifo<Token> *dst = p ? out_[0] : out_[1];
-        if (dst->full())
+        if (dst->full() && !ownerWaiting())
             return;
         Token tok = in_->pop(cycle);
-        dst->push(cycle, tok, actor_.latency);
+        dst->push(cycle, tok, actor_.latency, dst->full());
         fired_ = true;
         ++st_.tokens;
         return;
       }
       case ActorKind::Enqueue: {
-        if (out_[0]->full() || !queue(actor_.enqueueSet).canPush())
+        // Retry Enqueues bypass the capacity gate: a squashed token
+        // that cannot re-enter the queue wedges in the pipeline with
+        // its rule lane held, deadlocking everything behind it. The
+        // queue admits retries into an elastic overflow instead.
+        if ((out_[0]->full() && !ownerWaiting()) ||
+            (!actor_.retryEnqueue && !queue(actor_.enqueueSet).canPush()))
             return;
         Token tok = in_->pop(cycle);
+        // A retry Enqueue re-activates the same logical work with an
+        // incremented streak; the queue applies the backoff schedule.
         queue(actor_.enqueueSet)
             .push(cycle, actor_.enqueueSet, actor_.payload(tok),
-                  tok.index);
-        out_[0]->push(cycle, tok, actor_.latency);
+                  tok.index,
+                  actor_.retryEnqueue ? tok.retries + 1 : 0);
+        out_[0]->push(cycle, tok, actor_.latency, out_[0]->full());
         fired_ = true;
         ++st_.tokens;
         return;
       }
       case ActorKind::Event: {
-        if (out_[0]->full())
+        if (out_[0]->full() && !ownerWaiting())
             return;
         Token tok = in_->pop(cycle);
         EventData ev;
@@ -145,28 +160,28 @@ SimpleStage::doTick(uint64_t cycle)
                                                            : kNoLane;
             (*ctx_.engines)[e]->broadcast(ev, exclude);
         }
-        out_[0]->push(cycle, tok, actor_.latency);
+        out_[0]->push(cycle, tok, actor_.latency, out_[0]->full());
         fired_ = true;
         ++st_.tokens;
         return;
       }
       case ActorKind::Commit: {
-        if (out_[0]->full())
+        if (out_[0]->full() && !ownerWaiting())
             return;
         Token tok = in_->pop(cycle);
         actor_.sideEffect(tok);
-        out_[0]->push(cycle, tok, actor_.latency);
+        out_[0]->push(cycle, tok, actor_.latency, out_[0]->full());
         fired_ = true;
         ++st_.tokens;
         return;
       }
       case ActorKind::Const:
       case ActorKind::Alu: {
-        if (out_[0]->full())
+        if (out_[0]->full() && !ownerWaiting())
             return;
         Token tok = in_->pop(cycle);
         actor_.compute(tok);
-        out_[0]->push(cycle, tok, actor_.latency);
+        out_[0]->push(cycle, tok, actor_.latency, out_[0]->full());
         fired_ = true;
         ++st_.tokens;
         return;
@@ -187,6 +202,12 @@ ExpandStage::doTick(uint64_t cycle)
         if (b >= e) {
             // Empty range: the task produces nothing and dies here.
             ctx_.tracker->erase(tokenKey(tok));
+            if (ctx_.liveness) {
+                if (tok.retries > 0)
+                    ctx_.liveness->onRetryTokenDead(tokenKey(tok));
+                else
+                    ctx_.liveness->noteLiveSetChanged();
+            }
             fired_ = true;
             ++st_.tokens;
             return;
@@ -200,21 +221,36 @@ ExpandStage::doTick(uint64_t cycle)
     if (!active_)
         return;
     hasWork_ = true;
-    if (out_[0]->full())
+    if (out_[0]->full() && !ownerToken(current_) && !ownerWaiting())
         return;
 
     Token child = current_;
     child.words[actor_.expandSlot] = pos_;
     child.serial = (*ctx_.serial)++;
     // The child is a new live token sharing the parent's order key.
+    // Children of a retry token are retry tokens themselves: the
+    // liveness retry multiset mirrors the tracker so ownership ends
+    // exactly when the oldest retry's last token leaves the machine.
     ctx_.tracker->insert(tokenKey(child));
-    out_[0]->push(cycle, child, actor_.latency);
+    if (ctx_.liveness) {
+        if (child.retries > 0)
+            ctx_.liveness->onRetryTokenSpawned(tokenKey(child));
+        else
+            ctx_.liveness->noteLiveSetChanged();
+    }
+    out_[0]->push(cycle, child, actor_.latency, out_[0]->full());
     ++pos_;
     fired_ = true;
     ++st_.tokens;
     if (pos_ >= end_) {
         // Parent token is consumed once fully expanded.
         ctx_.tracker->erase(tokenKey(current_));
+        if (ctx_.liveness) {
+            if (current_.retries > 0)
+                ctx_.liveness->onRetryTokenDead(tokenKey(current_));
+            else
+                ctx_.liveness->noteLiveSetChanged();
+        }
         active_ = false;
     }
 }
@@ -227,13 +263,35 @@ MemStage::MemStage(const Actor &a, HwContext &ctx)
 {
 }
 
+bool
+MemStage::privileged(const Entry &e) const
+{
+    return ctx_.liveness && ctx_.liveness->isOwnerKey(tokenKey(e.tok));
+}
+
 void
 MemStage::doTick(uint64_t cycle)
 {
-    issueRejected_ = false;
+    issueRejects_ = 0;
 
-    // Accept one new token.
-    if (in_->canPop(cycle) && entries_.size() < maxEntries_) {
+    // Accept one new token. The liveness entry port: when the oldest
+    // squashed task's token is waiting in this input FIFO, entries are
+    // accepted past nominal capacity — otherwise a full LSU of starved
+    // non-owner entries would keep the owner's access (and therefore
+    // the privileged issue port and the reserve pin MSHR) permanently
+    // out of reach, and the whole machine waits on the owner's commit.
+    bool entry_port = false;
+    if (entries_.size() >= maxEntries_ && ctx_.liveness &&
+        ctx_.liveness->pinActive()) {
+        for (const auto &[vis, tok] : in_->raw()) {
+            if (ctx_.liveness->isOwnerKey(tokenKey(tok))) {
+                entry_port = true;
+                break;
+            }
+        }
+    }
+    if (in_->canPop(cycle) &&
+        (entries_.size() < maxEntries_ || entry_port)) {
         Entry e;
         e.tok = in_->pop(cycle);
         e.addr = actor_.addr(e.tok);
@@ -242,18 +300,45 @@ MemStage::doTick(uint64_t cycle)
     }
 
     // Issue one request (oldest unissued first).
+    Entry *head = nullptr;
     for (Entry &e : entries_) {
-        if (e.issued)
-            continue;
-        auto done = ctx_.mem->request(cycle, e.addr, isStore_);
+        if (!e.issued) {
+            head = &e;
+            break;
+        }
+    }
+    if (head) {
+        auto done =
+            ctx_.mem->request(cycle, head->addr, isStore_,
+                              privileged(*head));
         if (done) {
-            e.issued = true;
-            e.done = *done;
+            head->issued = true;
+            head->done = *done;
             fired_ = true;
         } else {
-            issueRejected_ = true;
+            ++issueRejects_;
+            // The liveness issue port: when the oldest squashed
+            // task's access sits behind a rejected head, it may still
+            // issue this cycle — without this, a non-owner at the
+            // head of the LSU would keep the reserve pin MSHR
+            // unreachable and the owner starved.
+            if (ctx_.liveness && ctx_.liveness->pinActive()) {
+                for (Entry &e : entries_) {
+                    if (e.issued || &e == head || !privileged(e))
+                        continue;
+                    auto d2 =
+                        ctx_.mem->request(cycle, e.addr, isStore_, true);
+                    if (d2) {
+                        e.issued = true;
+                        e.done = *d2;
+                        fired_ = true;
+                    } else {
+                        ++issueRejects_;
+                    }
+                    break; // one privileged attempt per cycle
+                }
+            }
         }
-        break; // one issue port per cycle
     }
 
     // Complete and emit one token: the head when in-order, else the
@@ -261,26 +346,30 @@ MemStage::doTick(uint64_t cycle)
     // tasks, Section 5.2).
     if (!entries_.empty())
         hasWork_ = true;
-    if (!out_[0]->full()) {
-        size_t limit = ctx_.cfg->lsuInOrder
-                           ? std::min<size_t>(1, entries_.size())
-                           : entries_.size();
-        for (size_t i = 0; i < limit; ++i) {
-            Entry &e = entries_[i];
-            if (!e.issued || e.done > cycle)
-                continue;
-            if (isStore_) {
-                if (!actor_.storeTimingOnly)
-                    ctx_.mem->writeWord(e.addr, actor_.storeValue(e.tok));
-            } else {
-                e.tok.words[actor_.loadDst] = ctx_.mem->readWord(e.addr);
-            }
-            out_[0]->push(cycle, e.tok, 1);
-            entries_.erase(entries_.begin() + static_cast<long>(i));
-            fired_ = true;
-            ++st_.tokens;
-            break;
+    size_t limit = ctx_.cfg->lsuInOrder
+                       ? std::min<size_t>(1, entries_.size())
+                       : entries_.size();
+    for (size_t i = 0; i < limit; ++i) {
+        Entry &e = entries_[i];
+        if (!e.issued || e.done > cycle)
+            continue;
+        // The owner's finished access emits past a full output FIFO
+        // (elastic): a completed owner token trapped behind a frozen
+        // FIFO would leave the whole machine waiting on a commit that
+        // can never arrive.
+        if (out_[0]->full() && !privileged(e))
+            continue;
+        if (isStore_) {
+            if (!actor_.storeTimingOnly)
+                ctx_.mem->writeWord(e.addr, actor_.storeValue(e.tok));
+        } else {
+            e.tok.words[actor_.loadDst] = ctx_.mem->readWord(e.addr);
         }
+        out_[0]->push(cycle, e.tok, 1, out_[0]->full());
+        entries_.erase(entries_.begin() + static_cast<long>(i));
+        fired_ = true;
+        ++st_.tokens;
+        break;
     }
 }
 
@@ -307,11 +396,12 @@ MemStage::nextWakeCycle(uint64_t cycle) const
 void
 MemStage::chargeSkippedRetries(uint64_t cycles)
 {
-    // Each skipped cycle would have re-issued the blocked head request
-    // and been rejected again (no MSHR can free while the machine is
-    // idle — the skip never crosses an outstanding-miss completion).
-    if (issueRejected_)
-        ctx_.mem->chargeMshrRejects(cycles);
+    // Each skipped cycle would have replayed the same rejected issue
+    // attempts (no MSHR can free while the machine is idle — the skip
+    // never crosses an outstanding-miss completion, and liveness
+    // ownership only changes when some stage fires).
+    if (issueRejects_)
+        ctx_.mem->chargeMshrRejects(cycles * issueRejects_);
 }
 
 // -------------------------------------------------------------- AllocRule
@@ -323,9 +413,9 @@ AllocRuleStage::doTick(uint64_t cycle)
     if (!in_->canPop(cycle))
         return;
     hasWork_ = true;
-    if (out_[0]->full())
-        return;
     const Token &peek = in_->front();
+    if (out_[0]->full() && !ownerWaiting())
+        return;
     RuleParams params;
     params.index = peek.index;
     params.words = actor_.payload(peek);
@@ -337,7 +427,7 @@ AllocRuleStage::doTick(uint64_t cycle)
     Token tok = in_->pop(cycle);
     tok.lane = lane;
     tok.laneRule = actor_.rule;
-    out_[0]->push(cycle, tok, actor_.latency);
+    out_[0]->push(cycle, tok, actor_.latency, out_[0]->full());
     fired_ = true;
     ++st_.tokens;
 }

@@ -19,6 +19,7 @@
 #include "hw/config.hh"
 #include "hw/fifo.hh"
 #include "hw/live_keys.hh"
+#include "hw/liveness.hh"
 #include "hw/rule_engine.hh"
 #include "hw/task_queue.hh"
 #include "mem/memsys.hh"
@@ -31,6 +32,8 @@ struct HwContext
     const AccelConfig *cfg = nullptr;
     MemorySystem *mem = nullptr;
     LiveKeyTracker *tracker = nullptr;
+    /** Squash-retry liveness engine (null in bare-stage tests). */
+    LivenessUnit *liveness = nullptr;
     std::vector<std::unique_ptr<RuleEngine>> *engines = nullptr;
     std::vector<std::unique_ptr<TaskQueueUnit>> *queues = nullptr;
     uint64_t *serial = nullptr;
@@ -126,6 +129,38 @@ class Stage
         return {0, t.index};
     }
 
+    /**
+     * Is `t` the liveness owner's token? The owner — the oldest live
+     * task during a retry storm — moves past full FIFOs (elastic
+     * push): the whole machine waits on its commit, so its forward
+     * path may never be blocked by finite buffering, or a congested
+     * replica can trap it indefinitely (docs/liveness.md).
+     */
+    bool
+    ownerToken(const Token &t) const
+    {
+        return ctx_.liveness && ctx_.liveness->isOwnerKey(tokenKey(t));
+    }
+
+    /**
+     * Is the owner's token waiting anywhere in this stage's input
+     * FIFO? FIFOs are strictly in order, so when the owner is behind
+     * a non-owner head the *head* must move for the owner to advance:
+     * every token in front of the owner inherits its right to an
+     * elastic push, draining the head-run forward until the owner
+     * itself reaches the stage (docs/liveness.md).
+     */
+    bool
+    ownerWaiting() const
+    {
+        if (!ctx_.liveness || !ctx_.liveness->pinActive() || !in_)
+            return false;
+        for (const auto &[vis, tok] : in_->raw())
+            if (ctx_.liveness->isOwnerKey(tokenKey(tok)))
+                return true;
+        return false;
+    }
+
     RuleEngine &engine(RuleId id) { return *(*ctx_.engines)[id]; }
     TaskQueueUnit &queue(TaskSetId id) { return *(*ctx_.queues)[id]; }
 
@@ -211,10 +246,19 @@ class MemStage : public Stage
         uint64_t done = 0;
     };
 
+    /** Is this entry's token the liveness owner's (privileged)? */
+    bool privileged(const Entry &e) const;
+
     std::vector<Entry> entries_;
     uint32_t maxEntries_;
     bool isStore_;
-    bool issueRejected_ = false; //!< last tick's issue hit MSHR wall
+    /**
+     * Issue attempts rejected by the MSHR wall in the last tick
+     * (0..2: the oldest unissued entry, plus at most one privileged
+     * entry behind it via the liveness issue port). Replayed per
+     * skipped cycle by chargeSkippedRetries.
+     */
+    uint32_t issueRejects_ = 0;
 };
 
 /** Constructs the task's rule in a rule-engine lane. */

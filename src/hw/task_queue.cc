@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "hw/liveness.hh"
 #include "support/logging.hh"
 #include "support/stats_registry.hh"
 
@@ -9,8 +10,9 @@ namespace apir {
 
 TaskQueueUnit::TaskQueueUnit(const TaskSetDecl &decl, TaskSetId id,
                              uint32_t banks, uint32_t bank_capacity,
-                             LiveKeyTracker &tracker)
-    : decl_(decl), id_(id), tracker_(tracker),
+                             LiveKeyTracker &tracker,
+                             LivenessUnit *liveness)
+    : decl_(decl), id_(id), tracker_(tracker), liveness_(liveness),
       occHist_(32, std::max(1.0, static_cast<double>(banks) *
                                      bank_capacity / 32.0))
 {
@@ -36,19 +38,43 @@ TaskQueueUnit::canPush() const
 void
 TaskQueueUnit::push(uint64_t cycle, TaskSetId set_check,
                     const std::array<Word, kMaxPayloadWords> &data,
-                    const TaskIndex &parent)
+                    const TaskIndex &parent, uint32_t retries)
 {
     APIR_ASSERT(set_check == id_, "push routed to the wrong queue");
     SwTask t;
     t.set = id_;
     t.data = data;
     t.index = childIndex(decl_, parent, counter_);
+    t.retries = retries;
 
-    tracker_.insert(tracker_.keyOf(t));
+    HwOrderKey key = tracker_.keyOf(t);
+    tracker_.insert(key);
+    // A retry activation registers with the liveness subsystem and
+    // pays the backoff schedule on top of registered-push visibility.
+    // Heap banks are expeditable: a parked retry becomes poppable the
+    // cycle ownership shifts onto it. FIFO banks cannot reorder, so
+    // they take the capped exponential schedule instead.
+    uint64_t delay = 0;
+    if (liveness_) {
+        if (retries > 0)
+            delay = liveness_->onRetryActivated(key, retries,
+                                                decl_.priority);
+        else
+            liveness_->noteLiveSetChanged();
+    }
+    // Retry re-activations are admitted past nominal capacity into an
+    // elastic overflow (the hardware's memory-backed spill of squashed
+    // work): refusing one would wedge the squashed token in the
+    // pipeline, holding its rule lane and stalling every token behind
+    // it — including the owner whose commit the machine waits on.
+    // First activations stay gated by canPush (host backpressure).
+    bool elastic = retries > 0;
     if (decl_.priority) {
-        APIR_ASSERT(heap_.size() < heapCapacity_,
+        APIR_ASSERT(elastic || heap_.size() < heapCapacity_,
                     "push into a full priority queue");
-        heap_.emplace(tracker_.keyOf(t), std::make_pair(cycle + 1, t));
+        if (heap_.size() >= heapCapacity_)
+            ++retryOverflows_;
+        heap_.emplace(key, HeapItem{cycle + 1 + delay, cycle, t});
     } else {
         // Least-occupied bank, ties to the lowest id (the input-side
         // wavefront allocator's effect).
@@ -56,12 +82,35 @@ TaskQueueUnit::push(uint64_t cycle, TaskSetId set_check,
         for (size_t b = 1; b < banks_.size(); ++b)
             if (banks_[b].size() < banks_[best].size())
                 best = b;
-        APIR_ASSERT(!banks_[best].full(), "push into a full task queue");
-        banks_[best].push(cycle, t);
+        APIR_ASSERT(elastic || !banks_[best].full(),
+                    "push into a full task queue");
+        if (banks_[best].full())
+            ++retryOverflows_;
+        // FIFO banks realize the backoff as extra register delay on
+        // the pushed entry; head-of-line order is unaffected. The
+        // delay is capped at 2^14 (see LivenessUnit), so the narrow
+        // cast is exact.
+        banks_[best].push(cycle, t, static_cast<uint32_t>(1 + delay),
+                          elastic);
     }
     ++pushes_;
     maxOccupancy_ = std::max<uint64_t>(maxOccupancy_, occupancy());
     occHist_.sample(static_cast<double>(occupancy()));
+}
+
+bool
+TaskQueueUnit::heapVisible(const HwOrderKey &key, const HeapItem &item,
+                           uint64_t cycle) const
+{
+    if (item.visibleAt <= cycle)
+        return true;
+    // Owner expedite: when ownership shifts toward a parked retry
+    // (its predecessors committed), the near-oldest squashed tasks
+    // must not serve out a stale backoff — the whole machine could be
+    // waiting on them. The expedite window keeps the next few
+    // in-commit-order retries warm so the chain pipelines.
+    return liveness_ && item.task.retries > 0 &&
+           liveness_->expedited(key) && item.pushedAt + 1 <= cycle;
 }
 
 std::optional<SwTask>
@@ -77,9 +126,9 @@ TaskQueueUnit::pop(uint64_t cycle, uint32_t source_id)
         if (heapPopsThisCycle_ >= banks_.size())
             return std::nullopt;
         for (auto it = heap_.begin(); it != heap_.end(); ++it) {
-            if (it->second.first > cycle)
-                continue; // pushed this cycle; visible next
-            SwTask t = it->second.second;
+            if (!heapVisible(it->first, it->second, cycle))
+                continue; // in register delay or backoff
+            SwTask t = it->second.task;
             heap_.erase(it);
             ++heapPopsThisCycle_;
             ++pops_;
@@ -111,9 +160,19 @@ TaskQueueUnit::nextWakeCycle(uint64_t cycle) const
     uint64_t wake = kNeverWake;
     if (decl_.priority) {
         // Heap storage is key-ordered, not time-ordered: scan all.
-        for (const auto &[key, item] : heap_)
-            if (item.first > cycle)
-                wake = std::min(wake, item.first);
+        // Entries the owner expedite already makes poppable are on
+        // offer this cycle and contribute nothing (same contract as
+        // visible entries); an expedited entry still in its push
+        // register wakes at pushedAt + 1 instead of its backoff end.
+        for (const auto &[key, item] : heap_) {
+            if (heapVisible(key, item, cycle))
+                continue;
+            uint64_t v = item.visibleAt;
+            if (liveness_ && item.task.retries > 0 &&
+                liveness_->expedited(key))
+                v = std::min(v, item.pushedAt + 1);
+            wake = std::min(wake, v);
+        }
         return wake;
     }
     // Bank FIFOs see nondecreasing push cycles, so the head is each
@@ -148,6 +207,7 @@ TaskQueueUnit::registerStats(StatRegistry &reg,
                  [this] { return static_cast<double>(banks_.size()); });
     reg.addCounter(component, "pushes", pushes_);
     reg.addCounter(component, "pops", pops_);
+    reg.addCounter(component, "retry_overflows", retryOverflows_);
     reg.addValue(component, "max_occupancy", [this] {
         return static_cast<double>(maxOccupancy_);
     });

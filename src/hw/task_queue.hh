@@ -24,13 +24,20 @@
 namespace apir {
 
 class StatRegistry;
+class LivenessUnit;
 
 /** Banked hardware task queue for one task set. */
 class TaskQueueUnit
 {
   public:
+    /**
+     * `liveness` (may be null) applies the squash-retry backoff to
+     * retry activations and expedites the pinning owner's retry in
+     * heap mode (docs/liveness.md).
+     */
     TaskQueueUnit(const TaskSetDecl &decl, TaskSetId id, uint32_t banks,
-                  uint32_t bank_capacity, LiveKeyTracker &tracker);
+                  uint32_t bank_capacity, LiveKeyTracker &tracker,
+                  LivenessUnit *liveness = nullptr);
 
     const TaskSetDecl &decl() const { return decl_; }
     TaskSetId id() const { return id_; }
@@ -42,10 +49,15 @@ class TaskQueueUnit
      * Activate a task: assign its index from the parent's (Figure 5),
      * register its order key as live, and store it in the
      * least-occupied bank. Caller must have checked canPush().
+     *
+     * `retries` > 0 marks a squash-retry activation (retry number
+     * `retries` of the same logical task): it registers with the
+     * liveness subsystem and its visibility is delayed by the backoff
+     * schedule on top of the usual registered-push cycle.
      */
     void push(uint64_t cycle, TaskSetId set_check,
               const std::array<Word, kMaxPayloadWords> &data,
-              const TaskIndex &parent);
+              const TaskIndex &parent, uint32_t retries = 0);
 
     /**
      * Pop request from pipeline source `source_id`. The wavefront
@@ -77,19 +89,38 @@ class TaskQueueUnit
                        const std::string &component) const;
 
   private:
+    /** Priority-mode storage entry. */
+    struct HeapItem
+    {
+        uint64_t visibleAt = 0; //!< push + 1 + any backoff delay
+        uint64_t pushedAt = 0;  //!< activation cycle
+        SwTask task;
+    };
+
+    /**
+     * Is a heap entry poppable at `cycle`? Normally when its
+     * (backoff-delayed) visibility has arrived; additionally, the
+     * pinning owner's retry ignores its backoff the moment it becomes
+     * the owner — registered-push semantics still apply, so never
+     * before pushedAt + 1.
+     */
+    bool heapVisible(const HwOrderKey &key, const HeapItem &item,
+                     uint64_t cycle) const;
+
     TaskSetDecl decl_;
     TaskSetId id_;
     std::vector<SimFifo<SwTask>> banks_;
-    /** Priority-mode storage: key -> (visible-at cycle, task). */
-    std::multimap<HwOrderKey, std::pair<uint64_t, SwTask>> heap_;
+    std::multimap<HwOrderKey, HeapItem> heap_;
     uint64_t heapCapacity_ = 0;
     uint32_t heapPopsThisCycle_ = 0;
     uint64_t heapPopCycle_ = ~0ull;
     LiveKeyTracker &tracker_;
+    LivenessUnit *liveness_ = nullptr;
     uint32_t counter_ = 0; //!< for-each activation counter
     std::vector<uint64_t> bankLastPop_;
     Counter pushes_;
     Counter pops_;
+    Counter retryOverflows_; //!< retry pushes admitted past capacity
     uint64_t maxOccupancy_ = 0;
     Histogram occHist_;
 };

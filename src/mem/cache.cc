@@ -23,7 +23,8 @@ Cache::reclaimMshrs(uint64_t cycle)
 }
 
 std::optional<uint64_t>
-Cache::access(uint64_t cycle, uint64_t addr, bool is_write)
+Cache::access(uint64_t cycle, uint64_t addr, bool is_write,
+              bool privileged)
 {
     uint64_t line_addr = addr / cfg_.lineBytes;
     uint64_t set = line_addr % numLines_;
@@ -31,6 +32,10 @@ Cache::access(uint64_t cycle, uint64_t addr, bool is_write)
     Line &line = lines_[set];
 
     if (line.valid && line.tag == tag) {
+        if (privileged && !line.pinned) {
+            line.pinned = true;
+            ++linePins_;
+        }
         if (cycle >= line.fillDone) {
             ++hits_;
             if (is_write)
@@ -47,10 +52,38 @@ Cache::access(uint64_t cycle, uint64_t addr, bool is_write)
         return line.fillDone + cfg_.hitLatency;
     }
 
+    if (!privileged && line.valid && line.pinned) {
+        // The victim is reserved for the liveness owner: serve this
+        // miss as a no-allocate bypass — a plain QPI transfer holding
+        // a regular MSHR for its duration, leaving the pinned line
+        // resident (no writeback, no install). The cache is
+        // timing-only, so skipping the install costs the requester
+        // nothing now and future locality later — exactly the
+        // concession the pinning protocol asks of non-oldest tasks.
+        reclaimMshrs(cycle);
+        if (mshrDone_.size() >= cfg_.mshrs) {
+            ++mshrRejects_;
+            return std::nullopt;
+        }
+        ++misses_;
+        ++pinBypasses_;
+        uint64_t done = qpi_.transfer(cycle, cfg_.lineBytes);
+        mshrDone_.push_back(done);
+        return done;
+    }
+
     reclaimMshrs(cycle);
+    bool use_pin_slot = false;
     if (mshrDone_.size() >= cfg_.mshrs) {
-        ++mshrRejects_;
-        return std::nullopt;
+        // Privileged misses fall back to the reserve pin MSHR, so the
+        // owner waits for at most one outstanding fill even when
+        // non-owners keep the regular file full.
+        if (privileged && pinSlotDone_ <= cycle) {
+            use_pin_slot = true;
+        } else {
+            ++mshrRejects_;
+            return std::nullopt;
+        }
     }
 
     ++misses_;
@@ -65,8 +98,16 @@ Cache::access(uint64_t cycle, uint64_t addr, bool is_write)
     line.valid = true;
     line.tag = tag;
     line.dirty = is_write;
+    line.pinned = privileged;
     line.fillDone = done;
-    mshrDone_.push_back(done);
+    if (privileged)
+        ++linePins_;
+    if (use_pin_slot) {
+        pinSlotDone_ = done;
+        ++pinSlotFills_;
+    } else {
+        mshrDone_.push_back(done);
+    }
 
     if (cfg_.prefetchNextLine) {
         // Next-line prefetch: fill line N+1 unless it is already
@@ -83,7 +124,9 @@ Cache::access(uint64_t cycle, uint64_t addr, bool is_write)
             return done;
         uint64_t pf_tag = pf_line / numLines_;
         Line &pf = lines_[pf_set];
-        if (!pf.valid || pf.tag != pf_tag) {
+        // Never prefetch over a pinned line: the speculative fill is
+        // worth strictly less than the liveness owner's reservation.
+        if (!pf.pinned && (!pf.valid || pf.tag != pf_tag)) {
             if (pf.valid && pf.dirty) {
                 ++writebacks_;
                 qpi_.transfer(cycle, cfg_.lineBytes);
@@ -108,7 +151,28 @@ Cache::nextMshrFreeCycle(uint64_t cycle) const
             return cycle + 1; // a slot is already reclaimable
         wake = std::min(wake, done);
     }
+    // The reserve pin MSHR freeing can unblock a rejected privileged
+    // access; for non-privileged retries the wake is merely early
+    // (they retry, fail again, and the skip resumes).
+    if (pinSlotDone_ > cycle)
+        wake = std::min(wake, pinSlotDone_);
     return wake;
+}
+
+void
+Cache::unpinAll()
+{
+    for (Line &line : lines_)
+        line.pinned = false;
+}
+
+uint64_t
+Cache::pinnedLines() const
+{
+    uint64_t n = 0;
+    for (const Line &line : lines_)
+        n += line.pinned ? 1 : 0;
+    return n;
 }
 
 void
@@ -123,6 +187,9 @@ Cache::registerStats(StatRegistry &reg,
     reg.addCounter(component, "mshr_rejects", mshrRejects_);
     reg.addCounter(component, "prefetches", prefetches_);
     reg.addCounter(component, "miss_under_fills", missUnderFills_);
+    reg.addCounter(component, "line_pins", linePins_);
+    reg.addCounter(component, "pin_bypasses", pinBypasses_);
+    reg.addCounter(component, "pin_slot_fills", pinSlotFills_);
 }
 
 } // namespace apir

@@ -55,9 +55,28 @@ class Cache
     /**
      * Access `addr` at `cycle`. Returns the completion cycle, or
      * nullopt when no MSHR is free (caller must retry later).
+     *
+     * A `privileged` access comes from the liveness subsystem's
+     * current owner (the oldest squashed task's retry,
+     * docs/liveness.md). It pins the line it touches — non-privileged
+     * misses that would evict a pinned line are served as no-allocate
+     * bypasses instead — and when the regular MSHR file is full it
+     * may fall back to the single reserve pin MSHR, so the owner is
+     * delayed by at most one outstanding fill, never starved.
      */
     std::optional<uint64_t> access(uint64_t cycle, uint64_t addr,
-                                   bool is_write);
+                                   bool is_write,
+                                   bool privileged = false);
+
+    /**
+     * Release every pinned line (the pinning owner committed or
+     * ownership moved). Purely a protection change: resident lines
+     * stay resident, in-flight fills complete normally.
+     */
+    void unpinAll();
+
+    /** Currently pinned resident lines (observability / tests). */
+    uint64_t pinnedLines() const;
 
     uint64_t hits() const { return hits_.value(); }
     uint64_t misses() const { return misses_.value(); }
@@ -66,6 +85,12 @@ class Cache
     uint64_t prefetches() const { return prefetches_.value(); }
     /** Demand accesses that arrived while their line was in flight. */
     uint64_t missUnderFills() const { return missUnderFills_.value(); }
+    /** Lines newly pinned by privileged accesses. */
+    uint64_t linePins() const { return linePins_.value(); }
+    /** Non-privileged misses served around a pinned victim. */
+    uint64_t pinBypasses() const { return pinBypasses_.value(); }
+    /** Privileged misses served by the reserve pin MSHR. */
+    uint64_t pinSlotFills() const { return pinSlotFills_.value(); }
 
     const CacheConfig &config() const { return cfg_; }
 
@@ -94,6 +119,8 @@ class Cache
     {
         bool valid = false;
         bool dirty = false;
+        /** Reserved for the liveness owner; see access(). */
+        bool pinned = false;
         uint64_t tag = 0;
         /** Cycle the line's fill completes; data unusable before. */
         uint64_t fillDone = 0;
@@ -106,12 +133,17 @@ class Cache
     uint64_t numLines_;
     std::vector<Line> lines_;
     std::vector<uint64_t> mshrDone_; //!< completion cycles of misses
+    /** Reserve pin MSHR: busy while its fill completes after this. */
+    uint64_t pinSlotDone_ = 0;
     Counter hits_;
     Counter misses_;
     Counter writebacks_;
     Counter mshrRejects_;
     Counter prefetches_;
     Counter missUnderFills_;
+    Counter linePins_;
+    Counter pinBypasses_;
+    Counter pinSlotFills_;
 };
 
 } // namespace apir

@@ -61,11 +61,15 @@ class MemorySystem
     /**
      * Timing request: access `addr` (word granularity) at `cycle`.
      * Returns completion cycle, or nullopt on MSHR back-pressure.
+     * `privileged` marks the liveness owner's accesses — they pin
+     * their cache lines and may use the reserve pin MSHR (see
+     * Cache::access and docs/liveness.md).
      */
     std::optional<uint64_t>
-    request(uint64_t cycle, uint64_t addr, bool is_write)
+    request(uint64_t cycle, uint64_t addr, bool is_write,
+            bool privileged = false)
     {
-        auto done = cache_->access(cycle, addr, is_write);
+        auto done = cache_->access(cycle, addr, is_write, privileged);
         if (done) {
             if (is_write)
                 ++writes_;
@@ -74,6 +78,9 @@ class MemorySystem
         }
         return done;
     }
+
+    /** Release the liveness owner's line reservations. */
+    void unpinAll() { cache_->unpinAll(); }
 
     /** Functional access helpers. */
     Word readWord(uint64_t addr) const { return image_.readWord(addr); }

@@ -489,6 +489,55 @@ TEST(LoaderDeath, CrossFieldChecksUseSharedValidation)
                 "deadlockCycles must not exceed maxCycles");
 }
 
+TEST(LoaderDeath, SpecLivenessKnobsAreValidated)
+{
+    setQuietLogging(true);
+    // A zero base would erase the exponential schedule; the loader's
+    // range check rejects it at the offending line.
+    ConfFile zero = ConfFile::parseString("[spec]\n"
+                                          "backoffBase = 0\n",
+                                          "spec.conf");
+    EXPECT_EXIT(loadScenario(zero, defaultAccelConfig()),
+                ::testing::ExitedWithCode(1),
+                "spec.conf:2.*backoffBase");
+
+    // Pinning rides the retry tracking of the liveness subsystem:
+    // turning liveness off while pinOldest (default-on) stays set is
+    // a cross-field contradiction, caught by the shared validation.
+    ConfFile pin = ConfFile::parseString("[spec]\n"
+                                         "liveness = false\n");
+    EXPECT_EXIT(loadScenario(pin, defaultAccelConfig()),
+                ::testing::ExitedWithCode(1),
+                "spec.pinOldest requires spec.liveness");
+
+    // Watchdog-only mode — both off — is legal.
+    ConfFile off = ConfFile::parseString("[spec]\n"
+                                         "liveness = false\n"
+                                         "pinOldest = false\n");
+    Scenario s = loadScenario(off, defaultAccelConfig());
+    EXPECT_FALSE(s.accel.specLiveness);
+    EXPECT_FALSE(s.accel.specPinOldest);
+}
+
+TEST(SpecConfigDeath, CxxBuiltConfigsHitTheSameSpecChecks)
+{
+    setQuietLogging(true);
+    // The C++ construction path (no .conf involved) funnels through
+    // validateAccelConfig, so the same contradictions are fatal.
+    AccelConfig base;
+    base.specBackoffBase = 0;
+    EXPECT_EXIT(validateAccelConfig(base),
+                ::testing::ExitedWithCode(1),
+                "spec.backoffBase must be >= 1");
+
+    AccelConfig pin;
+    pin.specLiveness = false;
+    pin.specPinOldest = true;
+    EXPECT_EXIT(validateAccelConfig(pin),
+                ::testing::ExitedWithCode(1),
+                "spec.pinOldest requires spec.liveness");
+}
+
 // ------------------------------------- shared validation hardening
 
 TEST(MemConfigDeath, DegenerateMemConfigsAreNamedFatal)

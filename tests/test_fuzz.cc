@@ -15,10 +15,14 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
 #include <map>
 #include <memory>
+#include <sstream>
 
+#include "apps/mst.hh"
 #include "bdfg/builder.hh"
+#include "graph/generators.hh"
 #include "core/parallel_executor.hh"
 #include "core/seq_executor.hh"
 #include "core/threaded_runtime.hh"
@@ -249,6 +253,84 @@ TEST_P(RuleFuzz, ExactlyOneVerdictPerTask)
 
 INSTANTIATE_TEST_SUITE_P(Seeds, RuleFuzz,
                          ::testing::Range<uint64_t>(1, 13));
+
+// --------------------------------------- speculative-config fuzz
+
+/**
+ * Random legal machine tuples — MSHR count, cache lines, queue
+ * banks, rule-lane depth, backoff base, pinning on/off — thrown at
+ * the most retry-heavy design (SPEC-MST). Every draw must terminate
+ * (run() returning at all proves neither deadlockCycles nor the
+ * cycle wall tripped, since both panic), produce the reference tree,
+ * and simulate bit-identically with and without fast-forward — the
+ * liveness subsystem's backoff and pin timing included.
+ */
+AccelConfig
+randomSpecConfig(Rng &rng)
+{
+    AccelConfig cfg;
+    cfg.mem.cache.mshrs = 1 + static_cast<uint32_t>(rng.below(4));
+    cfg.mem.cache.lineBytes = 64;
+    cfg.mem.cache.sizeBytes = 64 << rng.below(3); // 1, 2 or 4 lines
+    cfg.mem.cache.prefetchNextLine = rng.chance(0.3);
+    cfg.pipelinesPerSet = 1 + static_cast<uint32_t>(rng.below(3));
+    cfg.queueBanks = 1 + static_cast<uint32_t>(rng.below(4));
+    cfg.ruleLanes = 8 + static_cast<uint32_t>(rng.below(8));
+    cfg.fifoDepth = 1 + static_cast<uint32_t>(rng.below(4));
+    cfg.specBackoffBase = 1 + rng.below(32);
+    // Keep the draw legal: pinOldest requires liveness.
+    cfg.specPinOldest = rng.chance(0.7);
+    cfg.specLiveness = cfg.specPinOldest || rng.chance(0.7);
+    cfg.maxCycles = 20'000'000;
+    return cfg;
+}
+
+std::string
+specMstFingerprint(uint64_t seed, const AccelConfig &base, bool ff)
+{
+    setQuietLogging(true);
+    AccelConfig cfg = base;
+    cfg.fastForward = ff;
+    CsrGraph g =
+        roadNetwork(6, 6, 0.08, 0.05, 500, static_cast<uint32_t>(seed));
+    MstResult ref = mstSequential(g);
+    MemorySystem mem(cfg.mem);
+    auto app = buildSpecMst(g, mem);
+    RunResult rr = Accelerator(app.spec, cfg, mem).run();
+    EXPECT_EQ(app.state->result.totalWeight, ref.totalWeight);
+    EXPECT_EQ(app.state->result.edgesInTree, ref.edgesInTree);
+
+    std::ostringstream os;
+    os << rr.cycles << ' ' << rr.tasksExecuted << ' '
+       << rr.tasksActivated << ' ' << rr.squashed << ' '
+       << rr.fallbackFires << '\n';
+    for (const StatGroup &grp : rr.groups) {
+        for (const auto &[key, val] : grp.values()) {
+            char buf[48];
+            std::snprintf(buf, sizeof buf, "%a", val);
+            os << grp.name() << '.' << key << '=' << buf << '\n';
+        }
+    }
+    return os.str();
+}
+
+class SpecConfigFuzz : public ::testing::TestWithParam<uint64_t>
+{
+};
+
+TEST_P(SpecConfigFuzz, RandomMachineTerminatesAndFastForwardsExactly)
+{
+    uint64_t seed = GetParam();
+    Rng rng(seed * 0x9e3779b97f4a7c15ULL + 7);
+    AccelConfig cfg = randomSpecConfig(rng);
+    std::string on = specMstFingerprint(seed, cfg, true);
+    std::string off = specMstFingerprint(seed, cfg, false);
+    EXPECT_EQ(on, off) << "spec-config divergence at seed " << seed;
+    EXPECT_FALSE(on.empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SpecConfigFuzz,
+                         ::testing::Range<uint64_t>(1, 11));
 
 } // namespace
 } // namespace apir

@@ -1,0 +1,500 @@
+/**
+ * @file
+ * The liveness/property campaign for the speculative squash-retry
+ * path (docs/liveness.md). Three layers:
+ *
+ *  - a property harness asserting every legal degenerate geometry
+ *    (mshrs=1, single-line cache, and their combination) terminates
+ *    within an O(work) cycle budget across all five speculative apps
+ *    and seeds, with correct results — completing at all proves the
+ *    deadlock watchdog never fired, since the watchdog panics;
+ *  - exact-cycle regression tests pinning the backoff schedule, the
+ *    task-queue backoff/expedite timing, and the cache pin/unpin
+ *    protocol (reserve MSHR, bypass, prefetch guard);
+ *  - death tests showing the watchdog still fires — as a liveness
+ *    invariant violation — on a genuinely deadlocked machine.
+ */
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "apps/bfs.hh"
+#include "apps/cc.hh"
+#include "apps/dmr.hh"
+#include "apps/mst.hh"
+#include "apps/sssp.hh"
+#include "bdfg/builder.hh"
+#include "geometry/mesh.hh"
+#include "graph/generators.hh"
+#include "hw/accelerator.hh"
+#include "hw/liveness.hh"
+#include "hw/task_queue.hh"
+#include "mem/cache.hh"
+#include "support/logging.hh"
+
+namespace apir {
+namespace {
+
+// ------------------------------------------------- property harness
+
+/** The degenerate memory geometries the liveness protocol must tame. */
+enum class Geom { Mshr1, Line1, Mshr1Line1 };
+
+AccelConfig
+degenerateConfig(Geom g)
+{
+    AccelConfig cfg;
+    switch (g) {
+      case Geom::Mshr1:
+        cfg.mem.cache.mshrs = 1;
+        break;
+      case Geom::Line1:
+        cfg.mem.cache.sizeBytes = 64;
+        cfg.mem.cache.lineBytes = 64;
+        break;
+      case Geom::Mshr1Line1:
+        cfg.mem.cache.mshrs = 1;
+        cfg.mem.cache.sizeBytes = 64;
+        cfg.mem.cache.lineBytes = 64;
+        break;
+    }
+    // A hard stop well above any legal run: a livelock regression
+    // dies at the wall instead of hanging the test binary.
+    cfg.maxCycles = 20'000'000;
+    return cfg;
+}
+
+/**
+ * The termination bound under proof: total cycles linear in executed
+ * tasks (queue pops, retries included) with a geometry-independent
+ * constant. The measured worst cell (SPEC-MST, mshrs=1 single-line)
+ * runs ~80 cycles/task; the pre-subsystem near-livelock ran >50,000
+ * cycles/task and climbing, so the slack is decisive, not cosmetic.
+ */
+void
+expectLinearInWork(const RunResult &rr)
+{
+    EXPECT_LE(rr.cycles, 50'000 + 2'000 * rr.tasksExecuted)
+        << "executed=" << rr.tasksExecuted
+        << " squashed=" << rr.squashed;
+}
+
+enum class App { Bfs, Cc, Sssp, Mst, Dmr };
+
+/** Run one app cell under `cfg`, checking its functional result. */
+RunResult
+runCell(App app, uint64_t seed, const AccelConfig &cfg)
+{
+    setQuietLogging(true);
+    CsrGraph g = roadNetwork(7, 9, 0.08, 0.05, 500,
+                             static_cast<uint32_t>(seed));
+    MemorySystem mem(cfg.mem);
+    RunResult rr;
+    switch (app) {
+      case App::Bfs: {
+        auto a = buildSpecBfs(g, 0, mem);
+        rr = Accelerator(a.spec, cfg, mem).run();
+        EXPECT_EQ(readLevels(a.img, mem), bfsSequential(g, 0));
+        break;
+      }
+      case App::Cc: {
+        auto a = buildSpecCc(g, mem);
+        rr = Accelerator(a.spec, cfg, mem).run();
+        EXPECT_EQ(readLabels(a.img, mem), ccSequential(g));
+        break;
+      }
+      case App::Sssp: {
+        auto a = buildSpecSssp(g, 0, mem);
+        rr = Accelerator(a.spec, cfg, mem).run();
+        EXPECT_EQ(readDistances(a.img, mem), ssspSequential(g, 0));
+        break;
+      }
+      case App::Mst: {
+        MstResult ref = mstSequential(g);
+        auto a = buildSpecMst(g, mem);
+        rr = Accelerator(a.spec, cfg, mem).run();
+        EXPECT_EQ(a.state->result.totalWeight, ref.totalWeight);
+        EXPECT_EQ(a.state->result.edgesInTree, ref.edgesInTree);
+        break;
+      }
+      case App::Dmr: {
+        RefineParams params;
+        Mesh mesh = randomDelaunayMesh(40, seed);
+        auto a = buildSpecDmr(std::move(mesh), params, mem);
+        rr = Accelerator(a.spec, cfg, mem).run();
+        DmrResult out =
+            summarizeMesh(a.state->mesh, params, a.state->applied);
+        EXPECT_EQ(out.remainingBad, 0u);
+        break;
+      }
+    }
+    return rr;
+}
+
+class LivenessGrid
+    : public ::testing::TestWithParam<std::tuple<App, Geom, uint64_t>>
+{
+};
+
+TEST_P(LivenessGrid, TerminatesWithinLinearBudget)
+{
+    auto [app, geom, seed] = GetParam();
+    // Completing at all is itself half the property: the deadlock
+    // watchdog panics the process, so a passing cell proves the
+    // watchdog never fired.
+    RunResult rr = runCell(app, seed, degenerateConfig(geom));
+    expectLinearInWork(rr);
+    EXPECT_GT(rr.tasksExecuted, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    DegenerateGeometries, LivenessGrid,
+    ::testing::Combine(::testing::Values(App::Bfs, App::Cc, App::Sssp,
+                                         App::Mst, App::Dmr),
+                       ::testing::Values(Geom::Mshr1, Geom::Line1,
+                                         Geom::Mshr1Line1),
+                       ::testing::Values<uint64_t>(3, 21)));
+
+/**
+ * The headline acceptance case: 169 vertices under the worst legal
+ * geometry must finish in well under a million cycles. Before the
+ * subsystem this configuration was watchdog/cycle-wall bound (tens to
+ * hundreds of millions of cycles of retry churn; EXPERIMENTS.md).
+ */
+TEST(LivenessAcceptance, Spec169VerticesUnderWorstGeometryIsFast)
+{
+    setQuietLogging(true);
+    AccelConfig cfg = degenerateConfig(Geom::Mshr1Line1);
+    CsrGraph g = roadNetwork(13, 13, 0.08, 0.05, 1000, 42);
+    ASSERT_EQ(g.numVertices(), 169u);
+
+    {
+        MemorySystem mem(cfg.mem);
+        auto a = buildSpecBfs(g, 0, mem);
+        RunResult rr = Accelerator(a.spec, cfg, mem).run();
+        EXPECT_EQ(readLevels(a.img, mem), bfsSequential(g, 0));
+        EXPECT_LT(rr.cycles, 1'000'000u);
+    }
+    {
+        MemorySystem mem(cfg.mem);
+        MstResult ref = mstSequential(g);
+        auto a = buildSpecMst(g, mem);
+        RunResult rr = Accelerator(a.spec, cfg, mem).run();
+        EXPECT_EQ(a.state->result.totalWeight, ref.totalWeight);
+        EXPECT_LT(rr.cycles, 1'000'000u);
+    }
+}
+
+// --------------------------------------- exact backoff schedule
+
+TEST(BackoffSchedule, ExactExponentialWithCap)
+{
+    AccelConfig cfg; // defaults: liveness on, base 4, pinOldest on
+    MemorySystem mem;
+    LiveKeyTracker tracker;
+    // An older live non-retry task keeps the retry from owning.
+    HwOrderKey front{1, TaskIndex{}};
+    HwOrderKey back{2, TaskIndex{}};
+    tracker.insert(front);
+    tracker.insert(back);
+    LivenessUnit lu(cfg, 1u << 20, mem, tracker);
+
+    // Non-expeditable (FIFO) schedule: 4 * 2^(k-1), capped at 2^14.
+    EXPECT_EQ(lu.backoffDelay(back, 1, false), 4u);
+    EXPECT_EQ(lu.backoffDelay(back, 2, false), 8u);
+    EXPECT_EQ(lu.backoffDelay(back, 3, false), 16u);
+    EXPECT_EQ(lu.backoffDelay(back, 12, false), 4u << 11);
+    EXPECT_EQ(lu.backoffDelay(back, 13, false), 16384u);
+    EXPECT_EQ(lu.backoffDelay(back, 40, false), 16384u);
+    EXPECT_EQ(lu.backoffDelay(back, 0, false), 0u); // first activation
+
+    // Expeditable (heap) non-owners are parked for half the watchdog
+    // window regardless of streak: the owner expedite, not the timer,
+    // is what wakes them.
+    EXPECT_EQ(lu.backoffDelay(back, 1, true), (1u << 20) / 2);
+    EXPECT_EQ(lu.backoffDelay(back, 40, true), (1u << 20) / 2);
+
+    // onRetryActivated returns the same schedule and accounts it.
+    EXPECT_EQ(lu.onRetryActivated(back, 1, false), 4u);
+    EXPECT_EQ(lu.retryActivations(), 1u);
+    EXPECT_EQ(lu.maxRetryStreak(), 1u);
+
+    // Once the retry is the oldest live task overall, it owns the
+    // machine and is exempt from backoff in either queue mode.
+    tracker.erase(front);
+    lu.noteLiveSetChanged();
+    EXPECT_TRUE(lu.isOwnerKey(back));
+    EXPECT_EQ(lu.backoffDelay(back, 7, false), 0u);
+    EXPECT_EQ(lu.backoffDelay(back, 7, true), 0u);
+}
+
+TEST(BackoffSchedule, CapTracksWatchdogWindow)
+{
+    AccelConfig cfg;
+    MemorySystem mem;
+    LiveKeyTracker tracker;
+    HwOrderKey front{1, TaskIndex{}};
+    HwOrderKey back{2, TaskIndex{}};
+    tracker.insert(front);
+    tracker.insert(back);
+    // A tiny watchdog window pulls both the exponential cap and the
+    // park backstop to half of it, so a backed-off machine can never
+    // be mistaken for a deadlocked one.
+    LivenessUnit lu(cfg, 100, mem, tracker);
+    EXPECT_EQ(lu.backoffDelay(back, 30, false), 50u);
+    EXPECT_EQ(lu.backoffDelay(back, 1, true), 50u);
+}
+
+TEST(BackoffSchedule, DisabledKnobsEraseTheSchedule)
+{
+    MemorySystem mem;
+    LiveKeyTracker tracker;
+    HwOrderKey front{1, TaskIndex{}};
+    HwOrderKey back{2, TaskIndex{}};
+    tracker.insert(front);
+    tracker.insert(back);
+
+    // pinOldest off: no owner exemption and no parking (parking
+    // relies on the owner expedite) — every retry pays the capped
+    // exponential schedule in either queue mode.
+    AccelConfig noPin;
+    noPin.specPinOldest = false;
+    LivenessUnit luNoPin(noPin, 1u << 20, mem, tracker);
+    tracker.erase(front);
+    luNoPin.noteLiveSetChanged();
+    EXPECT_FALSE(luNoPin.isOwnerKey(back));
+    EXPECT_EQ(luNoPin.backoffDelay(back, 3, false), 16u);
+    EXPECT_EQ(luNoPin.backoffDelay(back, 3, true), 16u);
+    tracker.insert(front);
+
+    // liveness off (watchdog-only mode): zero delays, no ownership.
+    AccelConfig off;
+    off.specLiveness = false;
+    off.specPinOldest = false;
+    LivenessUnit luOff(off, 1u << 20, mem, tracker);
+    EXPECT_EQ(luOff.onRetryActivated(back, 5, true), 0u);
+    EXPECT_FALSE(luOff.pinActive());
+}
+
+// ------------------------------------ task-queue backoff timing
+
+TEST(QueueBackoff, HeapRetryParksBeyondTheExpediteWindow)
+{
+    TaskSetDecl decl{"q", TaskSetKind::ForEach, 0, 2, true};
+    LiveKeyTracker tracker;
+    MemorySystem mem;
+    AccelConfig cfg;
+    LivenessUnit lu(cfg, 1u << 20, mem, tracker);
+    TaskQueueUnit q(decl, 0, 1, 8, tracker, &lu);
+
+    q.push(0, 0, {}, TaskIndex{}, 0); // A: first activation, older
+    q.push(0, 0, {}, TaskIndex{}, 1); // B: non-owner retry
+
+    auto a = q.pop(1, 0);
+    ASSERT_TRUE(a.has_value()); // A visible at push + 1
+    EXPECT_EQ(a->retries, 0u);
+    // Crowd the expedite window: with kExpediteWindow live tasks all
+    // older than B (duplicates of A's key), B is not among the window
+    // oldest and truly parks.
+    HwOrderKey aKey = tracker.keyOf(*a);
+    for (size_t i = 0; i < LivenessUnit::kExpediteWindow; ++i)
+        tracker.insert(aKey);
+    lu.noteLiveSetChanged();
+
+    // B is parked, not exponentially backed off: it cannot commit
+    // before the older cohort does, so its timer is only the
+    // watchdog-safe backstop at push + 1 + threshold/2 exactly.
+    EXPECT_FALSE(q.pop(2, 0).has_value());
+    EXPECT_FALSE(q.pop(5, 0).has_value());
+    EXPECT_FALSE(q.pop(1000, 0).has_value());
+    EXPECT_EQ(q.nextWakeCycle(4), 1u + (1u << 20) / 2);
+
+    // The older cohort commits: B enters the window (and becomes the
+    // owner) and the expedite makes it poppable immediately — no
+    // waiting out the backstop.
+    for (size_t i = 0; i <= LivenessUnit::kExpediteWindow; ++i)
+        tracker.erase(aKey);
+    lu.noteLiveSetChanged();
+    auto b = q.pop(1001, 0);
+    ASSERT_TRUE(b.has_value());
+    EXPECT_EQ(b->retries, 1u);
+}
+
+TEST(QueueBackoff, ExpediteWindowKeepsNearOldestRetriesWarm)
+{
+    TaskSetDecl decl{"q", TaskSetKind::ForEach, 0, 2, true};
+    LiveKeyTracker tracker;
+    MemorySystem mem;
+    AccelConfig cfg;
+    LivenessUnit lu(cfg, 1u << 20, mem, tracker);
+    TaskQueueUnit q(decl, 0, 1, 8, tracker, &lu);
+
+    q.push(0, 0, {}, TaskIndex{}, 0); // A: first activation, the owner
+    q.push(0, 0, {}, TaskIndex{}, 6); // B: retry, 2nd-oldest live task
+
+    EXPECT_FALSE(q.pop(0, 0).has_value()); // never before push + 1
+    auto a = q.pop(1, 0);
+    ASSERT_TRUE(a.has_value());
+    EXPECT_EQ(a->retries, 0u);
+
+    // B is not the owner, but it is within the kExpediteWindow oldest
+    // live tasks, so the expedite keeps it warm: poppable at push + 1
+    // instead of after the parking backstop. This is what lets a
+    // strictly-ordered commit chain pipeline instead of serializing
+    // one wake-to-commit transit per task.
+    auto b = q.pop(2, 0);
+    ASSERT_TRUE(b.has_value());
+    EXPECT_EQ(b->retries, 6u);
+}
+
+TEST(QueueBackoff, FifoBankHoldsBackoffWithoutExpedite)
+{
+    TaskSetDecl decl{"q", TaskSetKind::ForEach, 0, 2, false};
+    LiveKeyTracker tracker;
+    MemorySystem mem;
+    AccelConfig cfg;
+    LivenessUnit lu(cfg, 1u << 20, mem, tracker);
+    TaskQueueUnit q(decl, 0, 1, 8, tracker, &lu);
+
+    q.push(0, 0, {}, TaskIndex{}, 0); // A at the bank head
+    q.push(0, 0, {}, TaskIndex{}, 1); // B behind it, delay 4
+
+    auto a = q.pop(1, 0);
+    ASSERT_TRUE(a.has_value());
+
+    // FIFO banks realize backoff as register delay: no reordering
+    // and no expedite, so ownership arriving mid-sleep still waits
+    // out the (capped) delay — the documented FIFO-mode bound.
+    tracker.erase(tracker.keyOf(*a));
+    lu.noteLiveSetChanged();
+    EXPECT_FALSE(q.pop(2, 0).has_value());
+    EXPECT_FALSE(q.pop(4, 0).has_value());
+    auto b = q.pop(5, 0);
+    ASSERT_TRUE(b.has_value());
+    EXPECT_EQ(b->retries, 1u);
+}
+
+// ----------------------------------------- cache pin/unpin timing
+
+TEST(CachePinning, BypassReserveSlotAndUnpin)
+{
+    QpiChannel qpi{QpiConfig{}};
+    CacheConfig cc;
+    cc.sizeBytes = 64; // single line
+    cc.lineBytes = 64;
+    cc.mshrs = 1;
+    Cache c(cc, qpi);
+
+    // Privileged miss installs and pins the line.
+    auto d0 = c.access(0, 0, false, true);
+    ASSERT_TRUE(d0.has_value());
+    EXPECT_EQ(c.pinnedLines(), 1u);
+    EXPECT_EQ(c.linePins(), 1u);
+
+    // A conflicting non-privileged miss after the fill completes is
+    // served as a no-allocate bypass: it takes the regular MSHR for
+    // its QPI transfer but leaves the pinned line resident.
+    auto d1 = c.access(*d0, 128, false, false);
+    ASSERT_TRUE(d1.has_value());
+    EXPECT_EQ(c.pinBypasses(), 1u);
+    EXPECT_EQ(c.pinnedLines(), 1u);
+
+    // With the single regular MSHR held by the bypass, a privileged
+    // miss falls back to the reserve pin MSHR instead of rejecting.
+    auto d2 = c.access(*d0, 256, false, true);
+    ASSERT_TRUE(d2.has_value());
+    EXPECT_EQ(c.pinSlotFills(), 1u);
+    EXPECT_EQ(c.linePins(), 2u);
+
+    // Both the regular file and the reserve slot busy: even a
+    // privileged miss must wait now (one outstanding fill, bounded).
+    EXPECT_FALSE(c.access(*d0 + 1, 512, false, true).has_value());
+    EXPECT_EQ(c.mshrRejects(), 1u);
+
+    c.unpinAll();
+    EXPECT_EQ(c.pinnedLines(), 0u);
+}
+
+TEST(CachePinning, PrefetchNeverEvictsAPinnedLine)
+{
+    QpiChannel qpi{QpiConfig{}};
+    CacheConfig cc;
+    cc.sizeBytes = 128; // two lines
+    cc.lineBytes = 64;
+    cc.prefetchNextLine = true;
+    Cache c(cc, qpi);
+
+    // Pin set 1 (the privileged miss's own next-line prefetch lands
+    // in the unpinned set 0 and is allowed), then demand-miss set 0:
+    // its next-line prefetch maps to the pinned set and is skipped.
+    ASSERT_TRUE(c.access(0, 64, false, true).has_value());
+    EXPECT_EQ(c.pinnedLines(), 1u);
+    EXPECT_EQ(c.prefetches(), 1u);
+    ASSERT_TRUE(c.access(200, 0, false, false).has_value());
+    EXPECT_EQ(c.prefetches(), 1u); // pinned target: no new prefetch
+
+    // After unpinning, the same shape prefetches again.
+    c.unpinAll();
+    ASSERT_TRUE(c.access(400, 128, false, false).has_value());
+    EXPECT_EQ(c.prefetches(), 2u);
+}
+
+// ------------------------------------------- watchdog still bites
+
+/** One-sink pipeline; `seeds` tasks, host-fed one per interval. */
+AcceleratorSpec
+starvedSpec(int seeds)
+{
+    AcceleratorSpec spec;
+    spec.name = "wd";
+    spec.sets = {{"t", TaskSetKind::ForEach, 0, 1}};
+    PipelineBuilder b("t", 0);
+    b.alu("nop", [](Token &) {}).sink("done");
+    spec.pipelines.push_back(b.build());
+    for (int i = 0; i < seeds; ++i)
+        spec.seed(0, {Word(i)});
+    return spec;
+}
+
+TEST(LivenessDeath, WatchdogFiresAsInvariantViolationWhenEnabled)
+{
+    setQuietLogging(true);
+    // The second task stays pending behind a host interval far past
+    // the watchdog: a genuine deadlock no retry protocol can unwedge.
+    // With the subsystem on, the watchdog names it a protocol bug.
+    AccelConfig cfg;
+    cfg.hostBatch = 1;
+    cfg.hostInterval = 1 << 20;
+    cfg.deadlockCycles = 500;
+    EXPECT_DEATH(
+        {
+            setQuietLogging(true);
+            MemorySystem mem;
+            AcceleratorSpec spec = starvedSpec(2);
+            Accelerator(spec, cfg, mem).run();
+        },
+        "liveness invariant violated.*deadlocked at cycle");
+}
+
+TEST(LivenessDeath, WatchdogFiresPlainlyInWatchdogOnlyMode)
+{
+    setQuietLogging(true);
+    AccelConfig cfg;
+    cfg.hostBatch = 1;
+    cfg.hostInterval = 1 << 20;
+    cfg.deadlockCycles = 500;
+    cfg.specLiveness = false;
+    cfg.specPinOldest = false;
+    EXPECT_DEATH(
+        {
+            setQuietLogging(true);
+            MemorySystem mem;
+            AcceleratorSpec spec = starvedSpec(2);
+            Accelerator(spec, cfg, mem).run();
+        },
+        "accelerator 'wd' deadlocked at cycle");
+}
+
+} // namespace
+} // namespace apir

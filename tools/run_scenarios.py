@@ -29,6 +29,25 @@ REPO = pathlib.Path(__file__).resolve().parent.parent
 # given commit, so the record is diffable.
 FIELDS = ("cycles", "seconds", "utilization", "tasks_executed", "squashed")
 
+# Scenarios under a hard liveness cycle budget. degenerate_mshr1 is
+# the worst legal machine (single-line cache, one MSHR): before the
+# squash-retry liveness subsystem (docs/liveness.md) the speculative
+# benchmarks ground through hundreds of millions of cycles of retry
+# churn here; the protocol bounds them to cycles linear in executed
+# tasks, and CI enforces that bound forever.
+LIVENESS_BUDGET_SCENARIOS = ("degenerate_mshr1",)
+
+
+def check_liveness_budget(tag, runs):
+    for r in runs:
+        budget = 200_000 + 2_000 * r["tasks_executed"]
+        if r["cycles"] > budget:
+            sys.stderr.write(
+                f"FAIL [{tag}/{r['benchmark']}]: {r['cycles']} cycles "
+                f"exceeds the liveness budget {budget} "
+                f"(tasks_executed={r['tasks_executed']})\n")
+            sys.exit(1)
+
 
 def run_fig9(bench, outdir, tag, scale, extra):
     stats = outdir / f"{tag}.stats.json"
@@ -70,7 +89,12 @@ def main():
         record["scenarios"][tag] = {
             r["benchmark"]: {f: r[f] for f in FIELDS} for r in runs
         }
-        print(f"ok   {tag}: {len(runs)} benchmarks")
+        if tag in LIVENESS_BUDGET_SCENARIOS:
+            check_liveness_budget(tag, runs)
+            print(f"ok   {tag}: {len(runs)} benchmarks, "
+                  "within the liveness cycle budget")
+        else:
+            print(f"ok   {tag}: {len(runs)} benchmarks")
 
     # Acceptance check: the paper-faithful scenario must be
     # byte-identical to the compiled-in default path.
