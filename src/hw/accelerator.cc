@@ -1,7 +1,6 @@
 #include "hw/accelerator.hh"
 
 #include <algorithm>
-#include <map>
 
 #include "support/logging.hh"
 #include "support/str.hh"
@@ -12,7 +11,8 @@ namespace apir {
 
 Accelerator::Accelerator(const AcceleratorSpec &spec,
                          const AccelConfig &cfg, MemorySystem &mem)
-    : spec_(spec), cfg_(cfg), mem_(mem), tracker_(spec.orderKey)
+    : spec_(spec), cfg_(cfg), mem_(mem),
+      tracker_(spec.orderKey, &arena_)
 {
     spec_.verify();
     validateAccelConfig(cfg_);
@@ -20,7 +20,7 @@ Accelerator::Accelerator(const AcceleratorSpec &spec,
                              ? cfg_.deadlockCycles
                              : cfg_.otherwiseTimeout * 64 + 100000;
     liveness_ = std::make_unique<LivenessUnit>(cfg_, deadlockThreshold_,
-                                               mem_, tracker_);
+                                               mem_, tracker_, &arena_);
 
     for (const RuleSpec &r : spec_.rules)
         engines_.push_back(std::make_unique<RuleEngine>(r, cfg_.ruleLanes));
@@ -28,7 +28,7 @@ Accelerator::Accelerator(const AcceleratorSpec &spec,
     for (size_t s = 0; s < spec_.sets.size(); ++s) {
         queues_.push_back(std::make_unique<TaskQueueUnit>(
             spec_.sets[s], static_cast<TaskSetId>(s), cfg_.queueBanks,
-            cfg_.queueBankCapacity, tracker_, liveness_.get()));
+            cfg_.queueBankCapacity, tracker_, liveness_.get(), &arena_));
     }
 
     ctx_.cfg = &cfg_;
@@ -100,23 +100,27 @@ Accelerator::buildPipelines()
 {
     for (size_t s = 0; s < spec_.pipelines.size(); ++s) {
         const BdfgGraph &g = spec_.pipelines[s];
+        // Actor ids are graph-local and small, so the per-graph lookup
+        // tables are flat vectors indexed by ActorId, not maps.
+        ActorId max_id = 0;
+        for (const Actor &a : g.actors())
+            max_id = std::max(max_id, a.id);
         // Rendezvous replicas of the same actor share one group: the
         // otherwise minimum is taken "across all pipelines" (Fig. 8).
-        std::map<ActorId, RendezvousGroup *> groups;
+        std::vector<RendezvousGroup *> groups(max_id + 1, nullptr);
         for (const Actor &a : g.actors()) {
             if (a.kind == ActorKind::Rendezvous) {
-                rdvGroups_.push_back(std::make_unique<RendezvousGroup>());
+                rdvGroups_.push_back(
+                    std::make_unique<RendezvousGroup>(&arena_));
                 groups[a.id] = rdvGroups_.back().get();
             }
         }
         for (uint32_t p = 0; p < cfg_.pipelinesPerSet; ++p) {
             // One stage per actor for this replica.
-            std::map<ActorId, Stage *> local;
+            std::vector<Stage *> local(max_id + 1, nullptr);
             for (const Actor &a : g.actors()) {
-                RendezvousGroup *grp =
-                    groups.count(a.id) ? groups[a.id] : nullptr;
                 auto stage = makeStage(a, ctx_, static_cast<TaskSetId>(s),
-                                       p, spec_.orderKey, grp);
+                                       p, spec_.orderKey, groups[a.id]);
                 stage->setTraceLabel(g.name() + "/" + std::to_string(p) +
                                      "/" + a.name);
                 local[a.id] = stage.get();
@@ -203,7 +207,12 @@ Accelerator::run()
         for (auto &q : queues_)
             queue_tracks.push_back("queue." + q->decl().name);
 
+    calendar_.reset(stages_.size() + queues_.size());
+
+    TickPerf &perf = res.tickPerf;
     for (;; ++cycle) {
+        ++perf.ticks;
+        size_t host_before = hostPos_;
         hostTick(cycle);
         if (cfg_.tracer && cfg_.tracer->active(cycle)) {
             for (size_t i = 0; i < queues_.size(); ++i)
@@ -213,6 +222,7 @@ Accelerator::run()
         }
         bool any_busy = false;
         bool any_moved = false;
+        perf.stageVisits += stages_.size();
         for (auto &stage : stages_) {
             stage->tick(cycle);
             if (stage->wasBusy()) {
@@ -224,6 +234,11 @@ Accelerator::run()
         }
         if (any_busy)
             lastProgressCycle_ = cycle;
+        // Anything that acted this tick can have rescheduled any
+        // component's wake-up (a popped FIFO, a drained MSHR, a host
+        // push); consecutive no-progress ticks cannot.
+        if (any_busy || any_moved || hostPos_ != host_before)
+            calendar_.invalidateAll();
         if (done())
             break;
         if (cycle - lastProgressCycle_ > deadlockThreshold_) {
@@ -253,9 +268,32 @@ Accelerator::run()
         // would have produced, and replaying the tracer's queue-depth
         // samples (occupancy cannot change over the stretch).
         if (cfg_.fastForward && !any_busy && !any_moved) {
-            uint64_t wake = nextWakeCycle(cycle);
+            ++perf.wakeQueries;
+            uint64_t wake;
+            if (cfg_.wakeCalendar) {
+                // Watchdog, cycle wall and host injection are pure
+                // arithmetic — recomputed inline; only the
+                // per-component answers are worth caching.
+                wake = std::min(lastProgressCycle_ + deadlockThreshold_ +
+                                    1,
+                                cfg_.maxCycles);
+                wake = std::min(
+                    wake, calendar_.min(cycle, [&](size_t slot) {
+                        ++perf.wakeRecomputes;
+                        return componentWake(slot, cycle);
+                    }));
+                if (hostPos_ < spec_.initial.size() && cfg_.hostBatch > 0)
+                    wake = std::min(wake,
+                                    (cycle / cfg_.hostInterval + 1) *
+                                        cfg_.hostInterval);
+            } else {
+                perf.wakeRecomputes += stages_.size() + queues_.size();
+                wake = nextWakeCycle(cycle);
+            }
             if (wake > cycle + 1) {
+                ++perf.ffSkips;
                 uint64_t skipped = wake - 1 - cycle;
+                perf.skippedCycles += skipped;
                 for (auto &stage : stages_)
                     stage->chargeSkipped(skipped);
                 if (cfg_.tracer) {
@@ -273,6 +311,9 @@ Accelerator::run()
             }
         }
     }
+
+    perf.arenaAllocs = arena_.allocations();
+    perf.arenaBytes = arena_.allocatedBytes();
 
     res.cycles = cycle + 1;
     res.seconds = static_cast<double>(res.cycles) / cfg_.clockHz;

@@ -19,9 +19,31 @@
 #include "hw/config.hh"
 #include "hw/rendezvous_group.hh"
 #include "hw/stage.hh"
+#include "hw/wake_calendar.hh"
+#include "support/arena.hh"
 #include "support/stats_registry.hh"
 
 namespace apir {
+
+/**
+ * Host-side performance counters of one run()'s tick loop — how much
+ * simulator work a run cost, not what the simulated machine did.
+ * Deliberately NOT registered in the StatRegistry: stats-json captures
+ * the simulated machine and must stay byte-identical across hot-path
+ * reworks, while these numbers exist precisely to change. The
+ * micro_tick bench reports them per simulated cycle.
+ */
+struct TickPerf
+{
+    uint64_t ticks = 0;          //!< executed (non-skipped) cycles
+    uint64_t stageVisits = 0;    //!< Stage::tick calls
+    uint64_t ffSkips = 0;        //!< fast-forward jumps taken
+    uint64_t skippedCycles = 0;  //!< cycles elided by those jumps
+    uint64_t wakeQueries = 0;    //!< nextWake consultations
+    uint64_t wakeRecomputes = 0; //!< per-component wake evaluations
+    uint64_t arenaAllocs = 0;    //!< pool-arena nodes handed out
+    uint64_t arenaBytes = 0;     //!< bytes those nodes amount to
+};
 
 /** Outcome of one accelerator run. */
 struct RunResult
@@ -34,6 +56,7 @@ struct RunResult
     uint64_t squashed = 0;       //!< false verdicts delivered
     uint64_t fallbackFires = 0;  //!< liveness-fallback otherwise fires
     std::vector<StatGroup> groups; //!< per-component statistics
+    TickPerf tickPerf;             //!< host-side tick-loop cost
 };
 
 /** Cycle-level model of one synthesized accelerator. */
@@ -78,10 +101,31 @@ class Accelerator
      */
     uint64_t nextWakeCycle(uint64_t cycle) const;
 
+    /**
+     * One component's contribution to nextWakeCycle: slots
+     * [0, numStages) are stages, the rest are task queues. The
+     * incremental wake calendar re-asks these one at a time instead
+     * of rescanning everything.
+     */
+    uint64_t
+    componentWake(size_t slot, uint64_t cycle) const
+    {
+        if (slot < stages_.size())
+            return stages_[slot]->nextWakeCycle(cycle);
+        return queues_[slot - stages_.size()]->nextWakeCycle(cycle);
+    }
+
     const AcceleratorSpec &spec_;
     AccelConfig cfg_;
     MemorySystem &mem_;
 
+    /**
+     * Shared node pool for every key multiset and heap map in this
+     * accelerator (live keys, retry sets, rendezvous waiters, task
+     * heaps). Declared before all of them: they allocate from it at
+     * construction and must release into it before it dies.
+     */
+    PoolArena arena_;
     LiveKeyTracker tracker_;
     /** Squash-retry liveness engine (backoff + oldest-task pinning). */
     std::unique_ptr<LivenessUnit> liveness_;
@@ -91,6 +135,7 @@ class Accelerator
     std::vector<std::unique_ptr<RendezvousGroup>> rdvGroups_;
     std::vector<std::unique_ptr<Stage>> stages_;
     uint64_t serial_ = 0;
+    WakeCalendar calendar_; //!< cached stage/queue wakes (idle ticks)
     HwContext ctx_;
     size_t hostPos_ = 0;
     uint64_t lastProgressCycle_ = 0;

@@ -65,6 +65,15 @@ struct AccelConfig
      * --no-fast-forward in the benches is the escape hatch.
      */
     bool fastForward = true;
+    /**
+     * Cache per-component wake-ups in an incremental calendar instead
+     * of re-scanning every stage and queue on each idle tick
+     * (docs/tick-performance.md). Cached wakes can only be early,
+     * never late, so results are identical either way; false forces
+     * the full-rescan reference path the fuzz harness diffs against.
+     * Config-file spelling: accel.wakeCalendar.
+     */
+    bool wakeCalendar = true;
     /** FPGA clock, for converting cycles to seconds (200 MHz). */
     double clockHz = 200e6;
 

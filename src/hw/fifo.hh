@@ -4,6 +4,13 @@
  * at cycle N becomes visible at N+1 (or later, for multi-cycle
  * producer latency), modeling the dual-port FIFO interfaces the
  * paper's in-order templates use.
+ *
+ * Storage is a power-of-two ring buffer (docs/tick-performance.md):
+ * push and pop are an index mask and a slot assignment, with no heap
+ * traffic in steady state. Elastic pushes — squash-retry
+ * re-activations that may never be refused — overflow past nominal
+ * capacity into a side deque that stays empty in normal operation, so
+ * the liveness semantics of the deque-backed FIFO are unchanged.
  */
 
 #ifndef APIR_HW_FIFO_HH
@@ -12,6 +19,7 @@
 #include <cstdint>
 #include <deque>
 #include <utility>
+#include <vector>
 
 #include "support/logging.hh"
 #include "support/wake.hh"
@@ -28,16 +36,16 @@ class SimFifo
         APIR_ASSERT(capacity >= 1, "FIFO capacity must be >= 1");
     }
 
-    bool full() const { return items_.size() >= capacity_; }
-    bool empty() const { return items_.empty(); }
-    size_t size() const { return items_.size(); }
+    bool full() const { return size() >= capacity_; }
+    bool empty() const { return size() == 0; }
+    size_t size() const { return (tail_ - head_) + side_.size(); }
     uint32_t capacity() const { return capacity_; }
 
     /** True if the head item is visible at `cycle`. */
     bool
     canPop(uint64_t cycle) const
     {
-        return !items_.empty() && items_.front().first <= cycle;
+        return tail_ != head_ && ring_[head_ & mask_].visibleAt <= cycle;
     }
 
     /**
@@ -53,15 +61,26 @@ class SimFifo
     {
         APIR_ASSERT(!full() || elastic, "push into a full FIFO");
         APIR_ASSERT(latency >= 1, "zero-latency push");
-        items_.emplace_back(cycle + latency, std::move(item));
-        maxOccupancy_ = std::max<uint64_t>(maxOccupancy_, items_.size());
+        // Anything behind a side-deque item must also go to the side
+        // deque, or FIFO order breaks.
+        if (tail_ - head_ >= capacity_ || !side_.empty()) {
+            side_.emplace_back(cycle + latency, std::move(item));
+        } else {
+            if (tail_ - head_ == ring_.size())
+                grow();
+            Slot &s = ring_[tail_ & mask_];
+            s.visibleAt = cycle + latency;
+            s.item = std::move(item);
+            ++tail_;
+        }
+        maxOccupancy_ = std::max<uint64_t>(maxOccupancy_, size());
     }
 
     const T &
     front() const
     {
-        APIR_ASSERT(!items_.empty(), "front of empty FIFO");
-        return items_.front().second;
+        APIR_ASSERT(tail_ != head_, "front of empty FIFO");
+        return ring_[head_ & mask_].item;
     }
 
     /**
@@ -72,26 +91,84 @@ class SimFifo
     uint64_t
     frontVisibleAt() const
     {
-        APIR_ASSERT(!items_.empty(), "visibility of empty FIFO");
-        return items_.front().first;
+        APIR_ASSERT(tail_ != head_, "visibility of empty FIFO");
+        return ring_[head_ & mask_].visibleAt;
     }
 
     T
     pop(uint64_t cycle)
     {
         APIR_ASSERT(canPop(cycle), "pop of unavailable item");
-        T item = std::move(items_.front().second);
-        items_.pop_front();
+        T item = std::move(ring_[head_ & mask_].item);
+        ++head_;
+        // Refill from the overflow deque so the ring stays the front
+        // of the queue (the side deque only ever holds younger items).
+        while (!side_.empty() && tail_ - head_ < capacity_) {
+            if (tail_ - head_ == ring_.size())
+                grow();
+            Slot &s = ring_[tail_ & mask_];
+            s.visibleAt = side_.front().first;
+            s.item = std::move(side_.front().second);
+            side_.pop_front();
+            ++tail_;
+        }
         return item;
     }
 
     uint64_t maxOccupancy() const { return maxOccupancy_; }
 
-    const std::deque<std::pair<uint64_t, T>> &raw() const { return items_; }
+    /**
+     * Visit every queued item in FIFO order until `fn(item)` returns
+     * true; returns whether it did. Replaces exposing the container:
+     * the liveness unit scans input FIFOs for the pinned owner's token.
+     */
+    template <typename Fn>
+    bool
+    anyItem(Fn &&fn) const
+    {
+        for (uint64_t i = head_; i != tail_; ++i)
+            if (fn(ring_[i & mask_].item))
+                return true;
+        for (const auto &[vis, item] : side_)
+            if (fn(item))
+                return true;
+        return false;
+    }
 
   private:
+    struct Slot
+    {
+        uint64_t visibleAt = 0;
+        T item{};
+    };
+
+    /**
+     * Double the ring (amortized, and bounded by capacity). Starting
+     * tiny keeps deep-capacity FIFOs (task-queue banks default to
+     * 2^16 entries) from reserving slots they never fill.
+     */
+    void
+    grow()
+    {
+        size_t n = ring_.empty() ? kMinRingSlots : ring_.size() * 2;
+        std::vector<Slot> next(n);
+        size_t used = tail_ - head_;
+        for (uint64_t i = 0; i < used; ++i)
+            next[i] = std::move(ring_[(head_ + i) & mask_]);
+        ring_ = std::move(next);
+        head_ = 0;
+        tail_ = used;
+        mask_ = ring_.size() - 1;
+    }
+
+    static constexpr size_t kMinRingSlots = 8;
+
     uint32_t capacity_;
-    std::deque<std::pair<uint64_t, T>> items_; //!< (visibleAt, item)
+    std::vector<Slot> ring_; //!< power-of-two slot array
+    uint64_t head_ = 0;      //!< monotone pop counter (index = & mask_)
+    uint64_t tail_ = 0;      //!< monotone push counter
+    uint64_t mask_ = 0;      //!< ring_.size() - 1
+    std::deque<std::pair<uint64_t, T>> side_; //!< elastic overflow
     uint64_t maxOccupancy_ = 0;
 };
 

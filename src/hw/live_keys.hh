@@ -15,6 +15,7 @@
 #include <utility>
 
 #include "core/task.hh"
+#include "support/arena.hh"
 #include "support/logging.hh"
 
 namespace apir {
@@ -27,13 +28,28 @@ namespace apir {
  */
 using HwOrderKey = std::pair<uint64_t, TaskIndex>;
 
+/**
+ * Arena-backed key multiset: every insert/erase is one pooled node,
+ * not a malloc/free (the trackers below churn one node per token life
+ * event on the simulator's hot path).
+ */
+using HwOrderKeySet =
+    std::multiset<HwOrderKey, std::less<HwOrderKey>,
+                  ArenaAllocator<HwOrderKey>>;
+
 /** Multiset of the order keys of all live tasks. */
 class LiveKeyTracker
 {
   public:
+    /**
+     * `arena` is the accelerator's shared node pool; components built
+     * standalone (unit tests) pass nothing and get a private one.
+     */
     explicit LiveKeyTracker(
-        std::function<uint64_t(const SwTask &)> custom = nullptr)
-        : custom_(std::move(custom)) {}
+        std::function<uint64_t(const SwTask &)> custom = nullptr,
+        PoolArena *arena = nullptr)
+        : custom_(std::move(custom)), arenaRef_(arena),
+          keys_(arenaRef_.allocator<HwOrderKey>()) {}
 
     /** Key of a task under the design's order. */
     HwOrderKey
@@ -83,7 +99,8 @@ class LiveKeyTracker
 
   private:
     std::function<uint64_t(const SwTask &)> custom_;
-    std::multiset<HwOrderKey> keys_;
+    ArenaRef arenaRef_; //!< declared before keys_ (allocator source)
+    HwOrderKeySet keys_;
 };
 
 } // namespace apir

@@ -10,9 +10,10 @@ namespace apir {
 
 LivenessUnit::LivenessUnit(const AccelConfig &cfg,
                            uint64_t deadlock_threshold, MemorySystem &mem,
-                           const LiveKeyTracker &tracker)
+                           const LiveKeyTracker &tracker, PoolArena *arena)
     : enabled_(cfg.specLiveness), pinOldest_(cfg.specPinOldest),
-      backoffBase_(cfg.specBackoffBase), mem_(mem), tracker_(tracker)
+      backoffBase_(cfg.specBackoffBase), mem_(mem), tracker_(tracker),
+      arenaRef_(arena), retrying_(arenaRef_.allocator<HwOrderKey>())
 {
     // A backed-off machine is idle but alive; keep the longest
     // possible delay well inside the watchdog window so the watchdog

@@ -60,7 +60,8 @@ class LivenessUnit
      * hot and starve the task that can.
      */
     LivenessUnit(const AccelConfig &cfg, uint64_t deadlock_threshold,
-                 MemorySystem &mem, const LiveKeyTracker &tracker);
+                 MemorySystem &mem, const LiveKeyTracker &tracker,
+                 PoolArena *arena = nullptr);
 
     /**
      * A squash-retry activation (retry number `streak` >= 1) with
@@ -154,8 +155,9 @@ class LivenessUnit
     uint64_t parkDelay_; //!< expeditable non-owner hold (see above)
     MemorySystem &mem_;
     const LiveKeyTracker &tracker_;
+    ArenaRef arenaRef_; //!< declared before retrying_ (allocator source)
     /** Order keys of all live retry tokens (queued or in flight). */
-    std::multiset<HwOrderKey> retrying_;
+    HwOrderKeySet retrying_;
     /** The pinning owner: minimum key in retrying_, when pinning. */
     std::optional<HwOrderKey> owner_;
     Counter squashRetries_;     //!< retry activations (squash count)

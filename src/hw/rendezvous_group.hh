@@ -22,6 +22,10 @@ namespace apir {
 class RendezvousGroup
 {
   public:
+    explicit RendezvousGroup(PoolArena *arena = nullptr)
+        : arenaRef_(arena),
+          waiting_(arenaRef_.allocator<HwOrderKey>()) {}
+
     void insert(const HwOrderKey &k) { waiting_.insert(k); }
 
     void
@@ -43,7 +47,8 @@ class RendezvousGroup
     }
 
   private:
-    std::multiset<HwOrderKey> waiting_;
+    ArenaRef arenaRef_; //!< declared before waiting_ (allocator source)
+    HwOrderKeySet waiting_;
 };
 
 } // namespace apir

@@ -283,12 +283,9 @@ MemStage::doTick(uint64_t cycle)
     bool entry_port = false;
     if (entries_.size() >= maxEntries_ && ctx_.liveness &&
         ctx_.liveness->pinActive()) {
-        for (const auto &[vis, tok] : in_->raw()) {
-            if (ctx_.liveness->isOwnerKey(tokenKey(tok))) {
-                entry_port = true;
-                break;
-            }
-        }
+        entry_port = in_->anyItem([&](const Token &tok) {
+            return ctx_.liveness->isOwnerKey(tokenKey(tok));
+        });
     }
     if (in_->canPop(cycle) &&
         (entries_.size() < maxEntries_ || entry_port)) {

@@ -155,10 +155,9 @@ class Stage
     {
         if (!ctx_.liveness || !ctx_.liveness->pinActive() || !in_)
             return false;
-        for (const auto &[vis, tok] : in_->raw())
-            if (ctx_.liveness->isOwnerKey(tokenKey(tok)))
-                return true;
-        return false;
+        return in_->anyItem([&](const Token &tok) {
+            return ctx_.liveness->isOwnerKey(tokenKey(tok));
+        });
     }
 
     RuleEngine &engine(RuleId id) { return *(*ctx_.engines)[id]; }

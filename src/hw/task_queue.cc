@@ -11,8 +11,11 @@ namespace apir {
 TaskQueueUnit::TaskQueueUnit(const TaskSetDecl &decl, TaskSetId id,
                              uint32_t banks, uint32_t bank_capacity,
                              LiveKeyTracker &tracker,
-                             LivenessUnit *liveness)
-    : decl_(decl), id_(id), tracker_(tracker), liveness_(liveness),
+                             LivenessUnit *liveness, PoolArena *arena)
+    : decl_(decl), id_(id), arenaRef_(arena),
+      ready_(arenaRef_.allocator<std::pair<const HeapKey, HeapItem>>()),
+      parked_(arenaRef_.allocator<std::pair<const HeapKey, HeapItem>>()),
+      tracker_(tracker), liveness_(liveness),
       occHist_(32, std::max(1.0, static_cast<double>(banks) *
                                      bank_capacity / 32.0))
 {
@@ -28,7 +31,7 @@ bool
 TaskQueueUnit::canPush() const
 {
     if (decl_.priority)
-        return heap_.size() < heapCapacity_;
+        return ready_.size() + parked_.size() < heapCapacity_;
     for (const auto &b : banks_)
         if (!b.full())
             return true;
@@ -70,11 +73,18 @@ TaskQueueUnit::push(uint64_t cycle, TaskSetId set_check,
     // First activations stay gated by canPush (host backpressure).
     bool elastic = retries > 0;
     if (decl_.priority) {
-        APIR_ASSERT(elastic || heap_.size() < heapCapacity_,
+        size_t heap_size = ready_.size() + parked_.size();
+        APIR_ASSERT(elastic || heap_size < heapCapacity_,
                     "push into a full priority queue");
-        if (heap_.size() >= heapCapacity_)
+        if (heap_size >= heapCapacity_)
             ++retryOverflows_;
-        heap_.emplace(key, HeapItem{cycle + 1 + delay, cycle, t});
+        // New entries always start parked: registered-push semantics
+        // make them visible at cycle + 1 at the earliest, and pop
+        // queries never run before the pushing cycle ends.
+        uint64_t vis = cycle + 1 + delay;
+        HeapKey hk{key, heapSeq_++};
+        parked_.emplace(hk, HeapItem{vis, cycle, t});
+        promo_.emplace(vis, hk);
     } else {
         // Least-occupied bank, ties to the lowest id (the input-side
         // wavefront allocator's effect).
@@ -98,19 +108,32 @@ TaskQueueUnit::push(uint64_t cycle, TaskSetId set_check,
     occHist_.sample(static_cast<double>(occupancy()));
 }
 
-bool
-TaskQueueUnit::heapVisible(const HwOrderKey &key, const HeapItem &item,
-                           uint64_t cycle) const
+void
+TaskQueueUnit::promoteUpTo(uint64_t cycle) const
 {
-    if (item.visibleAt <= cycle)
-        return true;
+    while (!promo_.empty() && promo_.top().first <= cycle) {
+        HeapKey hk = promo_.top().second;
+        promo_.pop();
+        auto it = parked_.find(hk);
+        if (it == parked_.end())
+            continue; // already popped through the owner expedite
+        // Node-handle splice: the entry moves maps without touching
+        // the arena (the maps share it, so the handle is compatible).
+        ready_.insert(parked_.extract(it));
+    }
+}
+
+bool
+TaskQueueUnit::expediteVisible(const HeapKey &key, const HeapItem &item,
+                               uint64_t cycle) const
+{
     // Owner expedite: when ownership shifts toward a parked retry
     // (its predecessors committed), the near-oldest squashed tasks
     // must not serve out a stale backoff — the whole machine could be
     // waiting on them. The expedite window keeps the next few
     // in-commit-order retries warm so the chain pipelines.
     return liveness_ && item.task.retries > 0 &&
-           liveness_->expedited(key) && item.pushedAt + 1 <= cycle;
+           liveness_->expedited(key.first) && item.pushedAt + 1 <= cycle;
 }
 
 std::optional<SwTask>
@@ -118,23 +141,45 @@ TaskQueueUnit::pop(uint64_t cycle, uint32_t source_id)
 {
     if (decl_.priority) {
         // Heap mode: deliver the minimum-key visible task, at most
-        // one grant per bank port per cycle.
+        // one grant per bank port per cycle. Visible means promoted
+        // to the ready map (timed visibility) or expedite-visible in
+        // the parked map; the expedite window is a key-order prefix
+        // of the live set, so that scan inspects at most a handful of
+        // parked entries instead of the whole backoff herd.
         if (heapPopCycle_ != cycle) {
             heapPopCycle_ = cycle;
             heapPopsThisCycle_ = 0;
         }
         if (heapPopsThisCycle_ >= banks_.size())
             return std::nullopt;
-        for (auto it = heap_.begin(); it != heap_.end(); ++it) {
-            if (!heapVisible(it->first, it->second, cycle))
-                continue; // in register delay or backoff
-            SwTask t = it->second.task;
-            heap_.erase(it);
-            ++heapPopsThisCycle_;
-            ++pops_;
-            return t;
+        promoteUpTo(cycle);
+        HeapMap *src = nullptr;
+        HeapMap::iterator it;
+        if (!ready_.empty()) {
+            src = &ready_;
+            it = ready_.begin();
         }
-        return std::nullopt;
+        if (liveness_) {
+            for (auto pit = parked_.begin(); pit != parked_.end();
+                 ++pit) {
+                if (src && !(pit->first < it->first))
+                    break; // the ready candidate is older
+                if (!liveness_->expedited(pit->first.first))
+                    break; // keys grow: nothing further is expedited
+                if (expediteVisible(pit->first, pit->second, cycle)) {
+                    src = &parked_;
+                    it = pit;
+                    break;
+                }
+            }
+        }
+        if (!src)
+            return std::nullopt;
+        SwTask t = it->second.task;
+        src->erase(it);
+        ++heapPopsThisCycle_;
+        ++pops_;
+        return t;
     }
 
     // Rotating priority: which bank this source looks at first
@@ -159,19 +204,27 @@ TaskQueueUnit::nextWakeCycle(uint64_t cycle) const
 {
     uint64_t wake = kNeverWake;
     if (decl_.priority) {
-        // Heap storage is key-ordered, not time-ordered: scan all.
-        // Entries the owner expedite already makes poppable are on
-        // offer this cycle and contribute nothing (same contract as
-        // visible entries); an expedited entry still in its push
-        // register wakes at pushedAt + 1 instead of its backoff end.
-        for (const auto &[key, item] : heap_) {
-            if (heapVisible(key, item, cycle))
-                continue;
-            uint64_t v = item.visibleAt;
-            if (liveness_ && item.task.retries > 0 &&
-                liveness_->expedited(key))
-                v = std::min(v, item.pushedAt + 1);
-            wake = std::min(wake, v);
+        // Ready entries are on offer this cycle and contribute
+        // nothing. The promotion queue's (lazily cleaned) top is the
+        // earliest timed visibility among parked entries; an expedited
+        // entry still in its push register additionally wakes at
+        // pushedAt + 1, found by scanning the expedite-window prefix.
+        // The top may belong to an entry the expedite already makes
+        // poppable — then this wake is early, never late, which the
+        // fast-forward contract allows (the extra tick is a no-op).
+        promoteUpTo(cycle);
+        while (!promo_.empty() &&
+               parked_.find(promo_.top().second) == parked_.end())
+            promo_.pop();
+        if (!promo_.empty())
+            wake = promo_.top().first;
+        if (liveness_) {
+            for (const auto &[hk, item] : parked_) {
+                if (!liveness_->expedited(hk.first))
+                    break; // keys grow: nothing further is expedited
+                if (item.task.retries > 0 && item.pushedAt + 1 > cycle)
+                    wake = std::min(wake, item.pushedAt + 1);
+            }
         }
         return wake;
     }
@@ -192,7 +245,7 @@ size_t
 TaskQueueUnit::occupancy() const
 {
     if (decl_.priority)
-        return heap_.size();
+        return ready_.size() + parked_.size();
     size_t n = 0;
     for (const auto &b : banks_)
         n += b.size();

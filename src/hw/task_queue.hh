@@ -13,12 +13,14 @@
 #include <cstdint>
 #include <map>
 #include <optional>
+#include <queue>
 #include <utility>
 #include <vector>
 
 #include "core/task.hh"
 #include "hw/fifo.hh"
 #include "hw/live_keys.hh"
+#include "support/arena.hh"
 #include "support/stats.hh"
 
 namespace apir {
@@ -37,7 +39,8 @@ class TaskQueueUnit
      */
     TaskQueueUnit(const TaskSetDecl &decl, TaskSetId id, uint32_t banks,
                   uint32_t bank_capacity, LiveKeyTracker &tracker,
-                  LivenessUnit *liveness = nullptr);
+                  LivenessUnit *liveness = nullptr,
+                  PoolArena *arena = nullptr);
 
     const TaskSetDecl &decl() const { return decl_; }
     TaskSetId id() const { return id_; }
@@ -98,19 +101,53 @@ class TaskQueueUnit
     };
 
     /**
-     * Is a heap entry poppable at `cycle`? Normally when its
-     * (backoff-delayed) visibility has arrived; additionally, the
-     * pinning owner's retry ignores its backoff the moment it becomes
-     * the owner — registered-push semantics still apply, so never
-     * before pushedAt + 1.
+     * Heap-mode storage key: the order key plus a per-queue push
+     * sequence number. The old single multimap delivered equal-key
+     * entries in insertion order; the sequence component reproduces
+     * that total order exactly across the ready/parked split.
      */
-    bool heapVisible(const HwOrderKey &key, const HeapItem &item,
-                     uint64_t cycle) const;
+    using HeapKey = std::pair<HwOrderKey, uint64_t>;
+    using HeapMap =
+        std::map<HeapKey, HeapItem, std::less<HeapKey>,
+                 ArenaAllocator<std::pair<const HeapKey, HeapItem>>>;
+
+    /**
+     * Move every parked entry whose timed visibility has arrived into
+     * the ready map. Queries are cycle-monotone (the run loop never
+     * rewinds), so promotion is one-way; logically const because the
+     * split is invisible to callers.
+     */
+    void promoteUpTo(uint64_t cycle) const;
+
+    /**
+     * Is a *parked* entry poppable at `cycle` anyway? Only through the
+     * owner expedite: when ownership shifts onto a parked retry (its
+     * predecessors committed), it must not serve out a stale backoff.
+     * Registered-push semantics still apply: never before pushedAt + 1.
+     */
+    bool expediteVisible(const HeapKey &key, const HeapItem &item,
+                         uint64_t cycle) const;
 
     TaskSetDecl decl_;
     TaskSetId id_;
+    ArenaRef arenaRef_; //!< declared before the heap maps
     std::vector<SimFifo<SwTask>> banks_;
-    std::multimap<HwOrderKey, HeapItem> heap_;
+    /**
+     * Heap-mode storage, split by visibility so pop is O(log n): the
+     * key-ordered ready map holds entries whose timed visibility has
+     * arrived (pop takes begin()), the parked map holds the rest —
+     * almost all of them backed-off retries — and the promotion queue
+     * is a lazy-deletion min-heap over parked visibility times.
+     * Mutable: promotion at query time moves entries between the two
+     * without changing any observable state.
+     */
+    mutable HeapMap ready_;
+    mutable HeapMap parked_;
+    mutable std::priority_queue<std::pair<uint64_t, HeapKey>,
+                                std::vector<std::pair<uint64_t, HeapKey>>,
+                                std::greater<>>
+        promo_;
+    uint64_t heapSeq_ = 0; //!< next HeapKey sequence number
     uint64_t heapCapacity_ = 0;
     uint32_t heapPopsThisCycle_ = 0;
     uint64_t heapPopCycle_ = ~0ull;

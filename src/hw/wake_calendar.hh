@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Incremental wake calendar for the fast-forward loop
+ * (docs/tick-performance.md). The original idle-tick path re-asked
+ * every stage and queue for its next wake-up on every jump; on a
+ * machine that is mostly parked (deep backoff herds, slow QPI) that
+ * full rescan IS the simulation cost. The calendar caches each
+ * component's answer and, on consecutive idle ticks, re-asks only the
+ * components whose cached wake has come due.
+ *
+ * Safety: between two progress ticks no component acts, so a cached
+ * wake computed at an earlier idle tick is still a *lower bound* on
+ * the component's true wake (a component resolving internal state
+ * during idle ticks — e.g. a rendezvous firing its otherwise timer —
+ * can only push its wake later). The fast-forward contract tolerates
+ * early wakes (the extra tick is a provable no-op and every statistic
+ * is charged by simulated cycle, not by executed tick), so stale-low
+ * entries cost one wasted query, never a missed event. Any progress
+ * tick invalidates the whole calendar.
+ */
+
+#ifndef APIR_HW_WAKE_CALENDAR_HH
+#define APIR_HW_WAKE_CALENDAR_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <utility>
+#include <vector>
+
+#include "support/wake.hh"
+
+namespace apir {
+
+/** Lazy min-structure over per-component cached wake cycles. */
+class WakeCalendar
+{
+  public:
+    /** Track `slots` components; everything starts dirty. */
+    void
+    reset(size_t slots)
+    {
+        wake_.assign(slots, 0);
+        heap_ = Heap();
+        allDirty_ = true;
+    }
+
+    /** A progress tick ran: every cached wake may be invalid. */
+    void invalidateAll() { allDirty_ = true; }
+
+    /**
+     * Minimum wake over all components at idle tick `cycle`.
+     * `recompute(slot)` must return the component's next wake, which
+     * is > `cycle` or kNeverWake. Only dirty slots — after a progress
+     * tick, all of them; on consecutive idle ticks, just those whose
+     * cached wake has come due — are re-asked.
+     */
+    template <typename Recompute>
+    uint64_t
+    min(uint64_t cycle, Recompute &&recompute)
+    {
+        if (allDirty_) {
+            allDirty_ = false;
+            std::vector<Entry> entries;
+            entries.reserve(wake_.size());
+            for (size_t i = 0; i < wake_.size(); ++i) {
+                wake_[i] = recompute(i);
+                entries.emplace_back(wake_[i],
+                                     static_cast<uint32_t>(i));
+            }
+            heap_ = Heap(std::greater<>{}, std::move(entries));
+        } else {
+            while (!heap_.empty()) {
+                auto [v, slot] = heap_.top();
+                if (v != wake_[slot]) {
+                    heap_.pop(); // superseded record
+                    continue;
+                }
+                if (v > cycle)
+                    break;
+                heap_.pop();
+                wake_[slot] = recompute(slot);
+                heap_.emplace(wake_[slot], slot);
+            }
+        }
+        return heap_.empty() ? kNeverWake : heap_.top().first;
+    }
+
+  private:
+    using Entry = std::pair<uint64_t, uint32_t>; //!< (wake, slot)
+    using Heap = std::priority_queue<Entry, std::vector<Entry>,
+                                     std::greater<>>;
+
+    std::vector<uint64_t> wake_; //!< authoritative cached wake per slot
+    Heap heap_;                  //!< lazy min over wake_
+    bool allDirty_ = true;
+};
+
+} // namespace apir
+
+#endif // APIR_HW_WAKE_CALENDAR_HH

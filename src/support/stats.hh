@@ -70,13 +70,22 @@ class Histogram
     Histogram(size_t buckets, double width)
         : width_(width), counts_(buckets, 0) {}
 
+    /**
+     * Record one sample. Values past the last bucket's upper edge go
+     * to a dedicated overflow counter — folding them into the last
+     * bucket would silently misreport the in-range distribution
+     * (elastic retry overflow routinely pushes queue occupancy past
+     * the nominal bucket range). Every sample lands somewhere:
+     * total() == sum of buckets + overflow.
+     */
     void
     sample(double v)
     {
         size_t b = v < 0 ? 0 : static_cast<size_t>(v / width_);
         if (b >= counts_.size())
-            b = counts_.size() - 1;
-        ++counts_[b];
+            ++overflow_;
+        else
+            ++counts_[b];
         ++total_;
     }
 
@@ -84,10 +93,13 @@ class Histogram
     size_t buckets() const { return counts_.size(); }
     double bucketWidth() const { return width_; }
     uint64_t total() const { return total_; }
+    /** Samples at or past buckets() * bucketWidth(). */
+    uint64_t overflow() const { return overflow_; }
 
   private:
     double width_;
     std::vector<uint64_t> counts_;
+    uint64_t overflow_ = 0;
     uint64_t total_ = 0;
 };
 

@@ -185,6 +185,9 @@ StatRegistry::toJson() const
                       JsonValue::number(e.histogram->bucketWidth()));
                 h.set("total", JsonValue::number(static_cast<double>(
                                    e.histogram->total())));
+                h.set("overflow",
+                      JsonValue::number(static_cast<double>(
+                          e.histogram->overflow())));
                 JsonValue buckets = JsonValue::array();
                 for (size_t i = 0; i < e.histogram->buckets(); ++i)
                     buckets.push(JsonValue::number(static_cast<double>(

@@ -25,7 +25,12 @@ ThreadPool::ThreadPool(unsigned threads)
 
 ThreadPool::~ThreadPool()
 {
-    wait();
+    // A failure nobody collected through wait() has no thread left to
+    // land on; destruction must still drain and join.
+    try {
+        wait();
+    } catch (...) {
+    }
     {
         std::lock_guard<std::mutex> lock(mutex_);
         stopping_ = true;
@@ -56,8 +61,18 @@ ThreadPool::runOne(std::unique_lock<std::mutex> &lock)
     std::function<void()> job = std::move(queue_.front());
     queue_.pop_front();
     lock.unlock();
-    job();
+    // A throwing job must not unwind a worker thread (std::terminate)
+    // or leave inFlight_ stuck (deadlocked wait); capture the first
+    // failure for wait() to rethrow on the submitting thread.
+    std::exception_ptr err;
+    try {
+        job();
+    } catch (...) {
+        err = std::current_exception();
+    }
     lock.lock();
+    if (err && !firstError_)
+        firstError_ = err;
     if (--inFlight_ == 0)
         allDone_.notify_all();
     return true;
@@ -85,6 +100,12 @@ ThreadPool::wait()
     while (runOne(lock)) {
     }
     allDone_.wait(lock, [this] { return inFlight_ == 0; });
+    if (firstError_) {
+        std::exception_ptr e = firstError_;
+        firstError_ = nullptr;
+        lock.unlock();
+        std::rethrow_exception(e);
+    }
 }
 
 void

@@ -20,6 +20,7 @@
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <thread>
@@ -45,7 +46,15 @@ class ThreadPool
     /** Enqueue one job. Must not be called concurrently with wait(). */
     void submit(std::function<void()> job);
 
-    /** Block until every submitted job has finished. */
+    /**
+     * Block until every submitted job has finished. If any job threw,
+     * the first-captured exception is rethrown here, on the calling
+     * thread, after the queue has drained — a failure is never
+     * swallowed and never escapes on a worker thread (which would
+     * std::terminate the process). Later failures are dropped: with
+     * jobs writing to independent slots, the first error is the one
+     * the submitter can act on.
+     */
     void wait();
 
     /** Worker count this pool was built with (>= 1). */
@@ -65,6 +74,7 @@ class ThreadPool
     std::condition_variable workReady_;
     std::condition_variable allDone_;
     size_t inFlight_ = 0; //!< queued + currently executing jobs
+    std::exception_ptr firstError_; //!< first job failure, for wait()
     bool stopping_ = false;
 };
 

@@ -5,9 +5,12 @@
  * results — cycle counts, every statistic in every component group,
  * the firing trace, and the Chrome trace stream — across pipeline
  * shapes (memory-bound, host-fed, rule-gated, expanding, priority
- * queues) and a fuzz sweep of random linear pipelines. Also covers
- * the deadlockCycles watchdog knob: validation, and the panic firing
- * at the identical simulated cycle in both modes.
+ * queues) and a fuzz sweep of random linear pipelines. Each design is
+ * additionally run fast-forwarded with the incremental wake calendar
+ * disabled (accel.wakeCalendar = false), pinning the cached-wake path
+ * to the full-rescan reference. Also covers the deadlockCycles
+ * watchdog knob: validation, and the panic firing at the identical
+ * simulated cycle in both modes.
  */
 
 #include <gtest/gtest.h>
@@ -82,16 +85,27 @@ runFingerprint(const SpecFactory &make, AccelConfig cfg, bool ff,
     return os.str();
 }
 
-/** Assert the two modes agree byte-for-byte, traces included. */
+/**
+ * Assert that all three execution strategies agree byte-for-byte,
+ * traces included: fast-forward with the wake calendar (the default),
+ * fast-forward with the calendar disabled (full nextWakeCycle rescan
+ * every idle tick), and the plain tick-every-cycle loop.
+ */
 void
 expectEquivalent(const SpecFactory &make, const AccelConfig &cfg)
 {
-    std::string trace_on, trace_off;
+    std::string trace_on, trace_off, trace_nocal;
     std::string on = runFingerprint(make, cfg, true, &trace_on);
     std::string off = runFingerprint(make, cfg, false, &trace_off);
     EXPECT_EQ(on, off);
     EXPECT_EQ(trace_on, trace_off);
     EXPECT_FALSE(on.empty());
+
+    AccelConfig nocal = cfg;
+    nocal.wakeCalendar = false;
+    std::string rescan = runFingerprint(make, nocal, true, &trace_nocal);
+    EXPECT_EQ(on, rescan);
+    EXPECT_EQ(trace_on, trace_nocal);
 }
 
 // ------------------------------------------------- hand-built designs

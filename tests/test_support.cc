@@ -121,17 +121,32 @@ TEST(Average, EmptyIsZero)
     EXPECT_DOUBLE_EQ(a.max(), 0.0);
 }
 
-TEST(Histogram, BucketsAndClamps)
+TEST(Histogram, BucketsNegativeClampAndOverflow)
 {
     Histogram h(4, 10.0);
     h.sample(5.0);   // bucket 0
     h.sample(15.0);  // bucket 1
-    h.sample(100.0); // clamped to last bucket
     h.sample(-1.0);  // clamped to bucket 0
+    h.sample(39.9);  // last in-range bucket
     EXPECT_EQ(h.bucket(0), 2u);
     EXPECT_EQ(h.bucket(1), 1u);
     EXPECT_EQ(h.bucket(3), 1u);
+    EXPECT_EQ(h.overflow(), 0u);
     EXPECT_EQ(h.total(), 4u);
+
+    // Over-max samples land in the counted overflow bucket, not the
+    // last in-range one: the recorded distribution stays honest and
+    // every sample is still accounted for in total().
+    h.sample(40.0); // == buckets * width: first out-of-range value
+    h.sample(100.0);
+    h.sample(1e18);
+    EXPECT_EQ(h.bucket(3), 1u); // unchanged
+    EXPECT_EQ(h.overflow(), 3u);
+    EXPECT_EQ(h.total(), 7u);
+    uint64_t in_range = 0;
+    for (size_t i = 0; i < h.buckets(); ++i)
+        in_range += h.bucket(i);
+    EXPECT_EQ(in_range + h.overflow(), h.total());
 }
 
 TEST(StatGroup, SetAddGetDump)
@@ -277,13 +292,16 @@ TEST(StatRegistry, JsonSerializationCarriesStructure)
     ++c;
     h.sample(0.5);
     h.sample(1.5);
+    h.sample(5.0); // past the last bucket: counted overflow
 
     JsonValue j = JsonValue::parse(reg.toJson().dump(true));
     EXPECT_EQ(j.at("mem").at("cache_hits").asNumber(), 1.0);
     const JsonValue &occ = j.at("q").at("occupancy");
-    EXPECT_EQ(occ.at("total").asNumber(), 2.0);
+    EXPECT_EQ(occ.at("total").asNumber(), 3.0);
+    EXPECT_EQ(occ.at("overflow").asNumber(), 1.0);
     ASSERT_EQ(occ.at("buckets").size(), 2u);
     EXPECT_EQ(occ.at("buckets").at(0).asNumber(), 1.0);
+    EXPECT_EQ(occ.at("buckets").at(1).asNumber(), 1.0);
 }
 
 TEST(ChromeTracer, EmitsValidJsonWithTrackMetadata)

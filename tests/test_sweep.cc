@@ -11,6 +11,7 @@
 #include <atomic>
 #include <set>
 #include <sstream>
+#include <stdexcept>
 #include <thread>
 #include <vector>
 
@@ -64,6 +65,44 @@ TEST(ThreadPool, ZeroMeansHardwareConcurrency)
     ThreadPool pool(0);
     EXPECT_GE(pool.numThreads(), 1u);
     EXPECT_EQ(pool.numThreads(), ThreadPool::hardwareThreads());
+}
+
+TEST(ThreadPool, ThrowingJobRethrowsOnTheSubmittingThread)
+{
+    // A sweep job that throws on a worker must neither terminate the
+    // process (unwinding a worker thread) nor deadlock wait(); the
+    // failure lands on the submitting thread, and the rest of the
+    // batch still runs.
+    ThreadPool pool(4);
+    std::atomic<int> done{0};
+    for (int i = 0; i < 16; ++i)
+        pool.submit([&done, i] {
+            if (i == 5)
+                throw std::runtime_error("job 5 failed");
+            ++done;
+        });
+    EXPECT_THROW(pool.wait(), std::runtime_error);
+    EXPECT_EQ(done.load(), 15);
+    // The pool stays usable and a clean wait() no longer throws.
+    pool.submit([&done] { ++done; });
+    EXPECT_NO_THROW(pool.wait());
+    EXPECT_EQ(done.load(), 16);
+}
+
+TEST(ThreadPool, FirstOfSeveralFailuresWins)
+{
+    ThreadPool pool(2);
+    for (int i = 0; i < 4; ++i)
+        pool.submit([] { throw std::runtime_error("boom"); });
+    EXPECT_THROW(pool.wait(), std::runtime_error);
+    EXPECT_NO_THROW(pool.wait()); // collected: not rethrown twice
+}
+
+TEST(ThreadPool, SingleThreadPoolPropagatesInlineFailure)
+{
+    ThreadPool pool(1);
+    pool.submit([] { throw std::logic_error("inline"); });
+    EXPECT_THROW(pool.wait(), std::logic_error);
 }
 
 TEST(ParallelForEach, VisitsEveryIndexExactlyOnce)

@@ -1,0 +1,137 @@
+#!/usr/bin/env python3
+"""Record the simulator's tick-loop throughput as BENCH_tick.json.
+
+Wraps the micro_tick profiling bench into the standardized perf
+trajectory file the ROADMAP asks for: one record per paper benchmark
+with the deterministic tick-loop counters (simulated cycles, ticks
+executed, stage visits, fast-forward skips, wake-calendar recomputes,
+arena allocations) and the measured wall-clock throughput
+(cycles_per_sec). The deterministic fields are diffable across
+commits; the throughput fields track the hot-path trend on a fixed
+machine.
+
+Usage:
+  tools/run_perf.py [--build-dir build] [--scale 0.1] [--reps 2]
+                    [--out BENCH_tick.json]
+                    [--check BASELINE --tolerance 0.30]
+
+With --check, the fresh run is compared against a previously written
+record: any benchmark whose cycles_per_sec drops more than the
+tolerance below the baseline fails the run (exit nonzero, all
+regressions listed). The scales must match, otherwise the comparison
+is meaningless and the script refuses. This powers the CI perf smoke
+leg; refresh the committed baseline when the timing model or the CI
+hardware changes.
+"""
+
+import argparse
+import json
+import pathlib
+import subprocess
+import sys
+import tempfile
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+
+# Deterministic per-benchmark fields copied from the micro_tick
+# stats-json: identical across hosts for a given commit.
+DET_FIELDS = ("cycles", "tasks_executed")
+TICK_FIELDS = ("ticks", "stage_visits", "ff_skips", "skipped_cycles",
+               "wake_queries", "wake_recomputes", "arena_allocs")
+
+
+def run_micro_tick(bench, scale, reps):
+    with tempfile.NamedTemporaryFile(suffix=".json", delete=False) as tmp:
+        stats = pathlib.Path(tmp.name)
+    cmd = [str(bench), "--scale", str(scale), "--reps", str(reps),
+           "--threads", "1", "--stats-json", str(stats)]
+    proc = subprocess.run(cmd, cwd=REPO, stdout=subprocess.PIPE,
+                          stderr=subprocess.STDOUT, text=True)
+    if proc.returncode != 0:
+        sys.stderr.write(f"FAIL: {' '.join(cmd)}\n{proc.stdout}\n")
+        sys.exit(1)
+    sys.stdout.write(proc.stdout)
+    doc = json.load(open(stats))
+    stats.unlink()
+    return doc["runs"]
+
+
+def make_record(runs, scale, reps):
+    record = {"bench": "micro_tick", "scale": scale, "reps": reps,
+              "points": {}}
+    for r in runs:
+        point = {f: r[f] for f in DET_FIELDS}
+        point["cycles_per_sec"] = r["cycles_per_sec"]
+        point.update({f: r["tick_perf"][f] for f in TICK_FIELDS})
+        record["points"][r["benchmark"]] = point
+    return record
+
+
+def check_regression(fresh, baseline_path, tolerance):
+    baseline = json.load(open(baseline_path))
+    if baseline.get("scale") != fresh["scale"]:
+        sys.stderr.write(
+            f"FAIL: baseline scale {baseline.get('scale')} != fresh "
+            f"scale {fresh['scale']}; rerun with --scale "
+            f"{baseline.get('scale')}\n")
+        sys.exit(1)
+    failures = []
+    for name, base in baseline["points"].items():
+        point = fresh["points"].get(name)
+        if point is None:
+            failures.append(f"{name}: missing from the fresh run")
+            continue
+        floor = base["cycles_per_sec"] * (1.0 - tolerance)
+        got = point["cycles_per_sec"]
+        verdict = "ok  " if got >= floor else "FAIL"
+        print(f"{verdict} {name}: {got:.3g} cycles/sec "
+              f"(baseline {base['cycles_per_sec']:.3g}, "
+              f"floor {floor:.3g})")
+        if got < floor:
+            failures.append(
+                f"{name}: {got:.3g} cycles/sec is more than "
+                f"{tolerance:.0%} below the baseline "
+                f"{base['cycles_per_sec']:.3g}")
+    if failures:
+        sys.stderr.write("tick-loop throughput regression:\n")
+        for f in failures:
+            sys.stderr.write(f"  {f}\n")
+        sys.exit(1)
+    print(f"throughput within {tolerance:.0%} of the baseline on all "
+          f"{len(baseline['points'])} benchmarks")
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--build-dir", default="build")
+    ap.add_argument("--scale", type=float, default=0.1)
+    ap.add_argument("--reps", type=int, default=5,
+                    help="best-of-N timing; higher damps wall-clock "
+                         "noise on loaded machines (default 5)")
+    ap.add_argument("--out", default="BENCH_tick.json")
+    ap.add_argument("--check", metavar="BASELINE",
+                    help="compare against a committed BENCH_tick.json")
+    ap.add_argument("--tolerance", type=float, default=0.30,
+                    help="allowed fractional cycles/sec drop (default 0.30)")
+    args = ap.parse_args()
+
+    bench = REPO / args.build_dir / "bench" / "micro_tick"
+    if not bench.exists():
+        sys.stderr.write(f"bench binary not found: {bench}\n")
+        sys.exit(1)
+
+    runs = run_micro_tick(bench, args.scale, args.reps)
+    record = make_record(runs, args.scale, args.reps)
+
+    out = REPO / args.out
+    with open(out, "w") as f:
+        json.dump(record, f, indent=1, sort_keys=True)
+        f.write("\n")
+    print(f"wrote {out} ({len(record['points'])} benchmarks)")
+
+    if args.check:
+        check_regression(record, REPO / args.check, args.tolerance)
+
+
+if __name__ == "__main__":
+    main()

@@ -2,17 +2,25 @@
 """Smoke-sweep the scenarios/ corpus and record BENCH_scenarios.json.
 
 Runs fig9_speedup once per scenarios/*.conf at a small scale with
---stats-json, fails loudly if any scenario fails to load, validate, or
-run, checks that harp_default.conf reproduces the no-config stats-json
-byte-for-byte, and writes a deterministic per-scenario/per-benchmark
-record (no timestamps, no wall-clock) so the corpus trajectory can be
-diffed across commits.
+--stats-json, checks that harp_default.conf reproduces the no-config
+stats-json byte-for-byte, enforces the liveness cycle budgets, and
+writes a deterministic per-scenario/per-benchmark record (no
+timestamps, no wall-clock) so the corpus trajectory can be diffed
+across commits.
+
+Failures are aggregated: every scenario is attempted, every FAIL line
+is printed, and the process exits nonzero if ANY scenario failed to
+run or violated a budget — so the CI leg gates on the whole corpus,
+not just the first scenario alphabetically. The record file is only
+written when the sweep is fully clean.
 
 Usage:
   tools/run_scenarios.py [--build-dir build] [--scale 0.1]
-                         [--out BENCH_scenarios.json]
+                         [--out BENCH_scenarios.json] [--self-test]
 
-Exit status is non-zero on the first failing scenario.
+--self-test skips the sweep and instead verifies the failure paths
+themselves: a fabricated over-budget run and a failing bench command
+must both be flagged. It exits 0 iff the negative checks trip.
 """
 
 import argparse
@@ -38,26 +46,69 @@ FIELDS = ("cycles", "seconds", "utilization", "tasks_executed", "squashed")
 LIVENESS_BUDGET_SCENARIOS = ("degenerate_mshr1",)
 
 
-def check_liveness_budget(tag, runs):
+class FailureLog:
+    """Collects FAIL lines so one bad scenario can't mask the rest."""
+
+    def __init__(self):
+        self.lines = []
+
+    def fail(self, msg):
+        self.lines.append(msg)
+        sys.stderr.write(f"FAIL {msg}\n")
+
+    def ok(self):
+        return not self.lines
+
+
+def check_liveness_budget(tag, runs, log):
     for r in runs:
         budget = 200_000 + 2_000 * r["tasks_executed"]
         if r["cycles"] > budget:
-            sys.stderr.write(
-                f"FAIL [{tag}/{r['benchmark']}]: {r['cycles']} cycles "
-                f"exceeds the liveness budget {budget} "
-                f"(tasks_executed={r['tasks_executed']})\n")
-            sys.exit(1)
+            log.fail(f"[{tag}/{r['benchmark']}]: {r['cycles']} cycles "
+                     f"exceeds the liveness budget {budget} "
+                     f"(tasks_executed={r['tasks_executed']})")
 
 
-def run_fig9(bench, outdir, tag, scale, extra):
+def run_fig9(bench, outdir, tag, scale, extra, log):
+    """Run one sweep; returns the stats path or None on failure."""
     stats = outdir / f"{tag}.stats.json"
     cmd = [str(bench), "--scale", str(scale), "--stats-json", str(stats)] + extra
     proc = subprocess.run(cmd, cwd=REPO, stdout=subprocess.PIPE,
                           stderr=subprocess.STDOUT, text=True)
     if proc.returncode != 0:
-        sys.stderr.write(f"FAIL [{tag}]: {' '.join(cmd)}\n{proc.stdout}\n")
-        sys.exit(1)
+        log.fail(f"[{tag}]: {' '.join(cmd)}\n{proc.stdout}")
+        return None
     return stats
+
+
+def self_test(outdir):
+    """Verify the gating paths: each negative probe must record a FAIL."""
+    ok = True
+
+    log = FailureLog()
+    check_liveness_budget(
+        "selftest",
+        [{"benchmark": "SPEC-BFS", "cycles": 10_000_000,
+          "tasks_executed": 100}],
+        log)
+    if log.ok():
+        sys.stderr.write("self-test: over-budget run was NOT flagged\n")
+        ok = False
+    else:
+        print("ok   self-test: over-budget run flagged")
+
+    log = FailureLog()
+    outdir.mkdir(parents=True, exist_ok=True)
+    if run_fig9(pathlib.Path("false"), outdir, "selftest-bad", 0.1,
+                [], log) is not None or log.ok():
+        sys.stderr.write("self-test: failing bench command was NOT flagged\n")
+        ok = False
+    else:
+        print("ok   self-test: failing bench command flagged")
+
+    if not ok:
+        sys.exit(1)
+    print("self-test passed: failure paths gate as intended")
 
 
 def main():
@@ -65,7 +116,14 @@ def main():
     ap.add_argument("--build-dir", default="build")
     ap.add_argument("--scale", type=float, default=0.1)
     ap.add_argument("--out", default="BENCH_scenarios.json")
+    ap.add_argument("--self-test", action="store_true",
+                    help="verify the failure paths instead of sweeping")
     args = ap.parse_args()
+
+    outdir = REPO / args.build_dir / "scenario-smoke"
+    if args.self_test:
+        self_test(outdir)
+        return
 
     bench = REPO / args.build_dir / "bench" / "fig9_speedup"
     if not bench.exists():
@@ -77,35 +135,46 @@ def main():
         sys.stderr.write("no scenarios/*.conf files found\n")
         sys.exit(1)
 
-    outdir = REPO / args.build_dir / "scenario-smoke"
     outdir.mkdir(parents=True, exist_ok=True)
 
+    log = FailureLog()
     record = {"bench": "fig9_speedup", "scale": args.scale, "scenarios": {}}
     for conf in confs:
         tag = conf.stem
         stats = run_fig9(bench, outdir, tag, args.scale,
-                         ["--config", str(conf)])
+                         ["--config", str(conf)], log)
+        if stats is None:
+            continue
         runs = json.load(open(stats))["runs"]
         record["scenarios"][tag] = {
             r["benchmark"]: {f: r[f] for f in FIELDS} for r in runs
         }
         if tag in LIVENESS_BUDGET_SCENARIOS:
-            check_liveness_budget(tag, runs)
-            print(f"ok   {tag}: {len(runs)} benchmarks, "
-                  "within the liveness cycle budget")
+            before = len(log.lines)
+            check_liveness_budget(tag, runs, log)
+            if len(log.lines) == before:
+                print(f"ok   {tag}: {len(runs)} benchmarks, "
+                      "within the liveness cycle budget")
         else:
             print(f"ok   {tag}: {len(runs)} benchmarks")
 
     # Acceptance check: the paper-faithful scenario must be
     # byte-identical to the compiled-in default path.
-    base = run_fig9(bench, outdir, "no-config-baseline", args.scale, [])
+    base = run_fig9(bench, outdir, "no-config-baseline", args.scale, [], log)
     harp = outdir / "harp_default.stats.json"
-    if not filecmp.cmp(base, harp, shallow=False):
+    if base is not None and harp.exists():
+        if filecmp.cmp(base, harp, shallow=False):
+            print("ok   harp_default.conf is byte-identical to the "
+                  "no-config run")
+        else:
+            log.fail("harp_default.conf stats-json differs from the "
+                     f"no-config run ({harp} vs {base})")
+
+    if not log.ok():
         sys.stderr.write(
-            "FAIL: harp_default.conf stats-json differs from the "
-            f"no-config run ({harp} vs {base})\n")
+            f"{len(log.lines)} scenario failure(s); not writing "
+            f"{args.out}\n")
         sys.exit(1)
-    print("ok   harp_default.conf is byte-identical to the no-config run")
 
     out = REPO / args.out
     with open(out, "w") as f:
