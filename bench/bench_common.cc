@@ -208,13 +208,14 @@ timeSeconds(const std::function<void()> &fn, int reps)
 }
 
 Workloads
-makeWorkloads(double scale)
+makeWorkloads(double scale, uint32_t seed)
 {
-    Workloads w{CsrGraph{}, 0, 0, 0, 0.0};
+    Workloads w;
+    w.seed = seed;
     // Sized so working sets exceed the 64 KB device cache by an
     // order of magnitude: the paper's evaluation is memory-bound.
     auto dim = static_cast<uint32_t>(96 * std::sqrt(scale));
-    w.road = roadNetwork(dim, dim, 0.08, 0.05, 1000, 42);
+    w.road = roadNetwork(dim, dim, 0.08, 0.05, 1000, seed);
     w.meshPoints = static_cast<uint32_t>(1200 * scale);
     w.luBlocks = static_cast<uint32_t>(24 * std::sqrt(scale));
     w.luBlockSize = 16;
@@ -234,6 +235,15 @@ benchName(Bench b)
       case Bench::CoorLu:   return "COOR-LU";
     }
     return "?";
+}
+
+std::optional<Bench>
+benchFromName(const std::string &name)
+{
+    for (Bench b : kAllBenches)
+        if (name == benchName(b))
+            return b;
+    return std::nullopt;
 }
 
 AccelConfig
@@ -342,7 +352,7 @@ runAccelerator(Bench b, const Workloads &w, AccelConfig cfg, bool verify)
             cfg.hostInterval = 64;
         }
         RefineParams params;
-        Mesh mesh = randomDelaunayMesh(w.meshPoints, 42);
+        Mesh mesh = randomDelaunayMesh(w.meshPoints, w.seed);
         auto app = buildSpecDmr(std::move(mesh), params, mem);
         Accelerator accel(app.spec, cfg, mem);
         out.rr = accel.run();
@@ -366,7 +376,7 @@ runAccelerator(Bench b, const Workloads &w, AccelConfig cfg, bool verify)
             cfg.hostInterval = 64;
         }
         BlockSparseMatrix a = randomBlockSparse(
-            w.luBlocks, w.luBlockSize, w.luDensity, 42);
+            w.luBlocks, w.luBlockSize, w.luDensity, w.seed);
         BlockSparseMatrix ref = a;
         auto app = buildCoorLu(std::move(a), mem);
         Accelerator accel(app.spec, cfg, mem);

@@ -80,14 +80,21 @@ double timeSeconds(const std::function<void()> &fn, int reps = 3);
 /** The standard Figure 9/10 workloads at a given scale. */
 struct Workloads
 {
-    CsrGraph road;       //!< BFS / SSSP / MST input (USA-road stand-in)
-    uint32_t meshPoints; //!< DMR input size
-    uint32_t luBlocks;   //!< LU block rows
-    uint32_t luBlockSize;
-    double luDensity;
+    CsrGraph road;            //!< BFS / SSSP / MST input (USA stand-in)
+    uint32_t meshPoints = 0;  //!< DMR input size
+    uint32_t luBlocks = 0;    //!< LU block rows
+    uint32_t luBlockSize = 0;
+    double luDensity = 0.0;
+    /**
+     * RNG seed the generators were (and, for the mesh / LU inputs
+     * drawn inside runAccelerator, will be) fed. Workloads are pure
+     * functions of (scale, seed) — the property the apird workload
+     * cache is built on.
+     */
+    uint32_t seed = 42;
 };
 
-Workloads makeWorkloads(double scale);
+Workloads makeWorkloads(double scale, uint32_t seed = 42);
 
 /** One simulated-accelerator run, generically. */
 struct AccelRun
@@ -110,6 +117,13 @@ enum class Bench
 };
 
 const char *benchName(Bench b);
+
+/**
+ * Inverse of benchName ("SPEC-BFS" -> Bench::SpecBfs); nullopt for
+ * unrecognized names. The apird wire protocol addresses benchmarks by
+ * these paper names.
+ */
+std::optional<Bench> benchFromName(const std::string &name);
 
 /**
  * Build and run the accelerator for one benchmark on the standard

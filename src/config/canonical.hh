@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Canonical text form of a machine configuration, for memoization
+ * keys. Two AccelConfigs produce the same key iff every knob that can
+ * influence simulation results is equal, so a key collision is a
+ * guaranteed cache hit: the apird result store and any future
+ * distributed DSE runner can treat the key as the identity of a
+ * simulated machine. Knobs are emitted in a fixed order under their
+ * config-file spellings (docs/configs.md), making keys stable across
+ * processes and debuggable by eye.
+ */
+
+#ifndef APIR_CONFIG_CANONICAL_HH
+#define APIR_CONFIG_CANONICAL_HH
+
+#include <string>
+
+#include "hw/config.hh"
+
+namespace apir {
+
+/**
+ * Serialize every simulation-affecting knob of `cfg` (accel.*,
+ * spec.*, mem.*, cache.*, qpi.*) as "knob=value|..." in a fixed
+ * order. The observability hooks (trace, tracer and their windows)
+ * are deliberately excluded: they never change simulated results,
+ * only what gets logged about them.
+ */
+std::string configCanonicalKey(const AccelConfig &cfg);
+
+} // namespace apir
+
+#endif // APIR_CONFIG_CANONICAL_HH

@@ -2,8 +2,8 @@
 
 #include <algorithm>
 #include <array>
-#include <map>
 
+#include "dse/memo.hh"
 #include "support/logging.hh"
 #include "support/str.hh"
 #include "support/thread_pool.hh"
@@ -57,12 +57,13 @@ exploreDesignSpace(const AcceleratorSpec &spec, const AccelConfig &base,
     // Each distinct configuration becomes exactly one point: visiting
     // it again (greedy re-probes a neighbor of a revisited ridge)
     // returns the memoized index instead of re-estimating resources —
-    // and, below, instead of re-charging the simulation budget.
-    std::map<Knobs, size_t> visited;
+    // and, below, instead of re-charging the simulation budget. The
+    // store is the same MemoStore the apird result cache uses; here
+    // it is only touched from the coordinating thread.
+    MemoStore<Knobs, size_t> visited;
     auto pointAt = [&](const Knobs &at) {
-        auto it = visited.find(at);
-        if (it != visited.end())
-            return it->second;
+        if (auto hit = visited.tryGet(at))
+            return *hit;
         DsePoint p;
         p.cfg = with(at);
         p.resources = estimateResources(spec, p.cfg);
@@ -73,7 +74,7 @@ exploreDesignSpace(const AcceleratorSpec &spec, const AccelConfig &base,
         if (!p.fits)
             ++result.pruned;
         result.points.push_back(std::move(p));
-        visited.emplace(at, result.points.size() - 1);
+        visited.put(at, result.points.size() - 1);
         return result.points.size() - 1;
     };
 

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * A thread-safe memoization store with hit/miss accounting — the DSE
+ * explorer's visited-point map (never re-simulate a knob tuple),
+ * generalized so the apird server can reuse it for its two production
+ * caches: the content-addressed workload cache (road nets, meshes and
+ * matrices are pure functions of seed + scale, so generate once and
+ * share) and the memoized result store (a canonicalized knob tuple
+ * maps to one stats payload, forever).
+ *
+ * getOrCompute() additionally collapses concurrent computations of
+ * the same key: the first caller computes while later callers block
+ * on a shared future, so a thundering herd of identical requests
+ * costs one simulation, not N. A computation that throws is erased
+ * so the key can be retried (in-flight waiters observe the failure).
+ */
+
+#ifndef APIR_DSE_MEMO_HH
+#define APIR_DSE_MEMO_HH
+
+#include <atomic>
+#include <cstdint>
+#include <future>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+namespace apir {
+
+/** Keyed, thread-safe, compute-once value store. */
+template <typename Key, typename Value>
+class MemoStore
+{
+  public:
+    /**
+     * Look the key up, counting a hit or a miss. Blocks if another
+     * thread is still computing the value (and rethrows its failure).
+     */
+    std::optional<Value>
+    tryGet(const Key &key)
+    {
+        std::shared_future<Value> fut;
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            auto it = map_.find(key);
+            if (it == map_.end()) {
+                misses_.fetch_add(1, std::memory_order_relaxed);
+                return std::nullopt;
+            }
+            hits_.fetch_add(1, std::memory_order_relaxed);
+            fut = it->second;
+        }
+        return fut.get();
+    }
+
+    /** Insert a ready value (first insertion wins). Not counted. */
+    void
+    put(const Key &key, Value value)
+    {
+        std::promise<Value> prom;
+        prom.set_value(std::move(value));
+        std::lock_guard<std::mutex> lock(mutex_);
+        map_.emplace(key, prom.get_future().share());
+    }
+
+    /**
+     * Return the memoized value, computing it with `fn` on first
+     * request. Concurrent calls for the same key run `fn` exactly
+     * once; the others wait and share the result. If `fn` throws, the
+     * key is erased (a later request recomputes) and every waiter
+     * sees the exception.
+     */
+    template <typename Fn>
+    Value
+    getOrCompute(const Key &key, Fn &&fn)
+    {
+        std::shared_future<Value> fut;
+        std::promise<Value> prom;
+        bool owner = false;
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            auto it = map_.find(key);
+            if (it != map_.end()) {
+                hits_.fetch_add(1, std::memory_order_relaxed);
+                fut = it->second;
+            } else {
+                misses_.fetch_add(1, std::memory_order_relaxed);
+                fut = prom.get_future().share();
+                map_.emplace(key, fut);
+                owner = true;
+            }
+        }
+        if (!owner)
+            return fut.get();
+        try {
+            prom.set_value(fn());
+        } catch (...) {
+            {
+                std::lock_guard<std::mutex> lock(mutex_);
+                map_.erase(key);
+            }
+            prom.set_exception(std::current_exception());
+            throw;
+        }
+        return fut.get();
+    }
+
+    uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+    uint64_t misses() const
+    {
+        return misses_.load(std::memory_order_relaxed);
+    }
+
+    size_t
+    size() const
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return map_.size();
+    }
+
+  private:
+    mutable std::mutex mutex_;
+    std::map<Key, std::shared_future<Value>> map_;
+    std::atomic<uint64_t> hits_{0};
+    std::atomic<uint64_t> misses_{0};
+};
+
+} // namespace apir
+
+#endif // APIR_DSE_MEMO_HH

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * The bounded priority queue between apird's connection threads and
+ * its simulation workers. Three strict priority classes (High beats
+ * Normal beats Low, FIFO within a class) over one shared capacity:
+ * the bound is the backpressure mechanism, so admission control is a
+ * single number. push() never blocks — a full queue returns false and
+ * the caller answers {"status":"busy","retry_after_ms":n} instead of
+ * letting slow consumers wedge every connection thread. pop() blocks
+ * until a job or close() arrives; close() wakes all poppers and lets
+ * them drain what was already admitted (the graceful-drain
+ * contract: accepted work always completes).
+ */
+
+#ifndef APIR_SERVER_JOB_QUEUE_HH
+#define APIR_SERVER_JOB_QUEUE_HH
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+#include "server/protocol.hh"
+
+namespace apir {
+namespace server {
+
+template <typename Job>
+class JobQueue
+{
+  public:
+    explicit JobQueue(size_t capacity) : capacity_(capacity) {}
+
+    JobQueue(const JobQueue &) = delete;
+    JobQueue &operator=(const JobQueue &) = delete;
+
+    /**
+     * Admit a job at `prio`. Returns false (without blocking) when
+     * the queue is at capacity or already closed.
+     */
+    bool push(Priority prio, Job job)
+    {
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            if (closed_ || size_ >= capacity_)
+                return false;
+            classes_[static_cast<int>(prio)].push_back(std::move(job));
+            ++size_;
+        }
+        ready_.notify_one();
+        return true;
+    }
+
+    /**
+     * Take the frontmost job of the highest non-empty class, blocking
+     * while the queue is open and empty. Returns nullopt only once
+     * the queue is closed AND drained — close() does not discard
+     * admitted work.
+     */
+    std::optional<Job> pop()
+    {
+        std::unique_lock<std::mutex> lock(mu_);
+        ready_.wait(lock, [&] { return size_ > 0 || closed_; });
+        for (auto &cls : classes_) {
+            if (!cls.empty()) {
+                Job job = std::move(cls.front());
+                cls.pop_front();
+                --size_;
+                return job;
+            }
+        }
+        return std::nullopt;
+    }
+
+    /** Stop admitting; wake every blocked pop(). Idempotent. */
+    void close()
+    {
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            closed_ = true;
+        }
+        ready_.notify_all();
+    }
+
+    size_t size() const
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        return size_;
+    }
+
+    bool closed() const
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        return closed_;
+    }
+
+  private:
+    const size_t capacity_;
+    mutable std::mutex mu_;
+    std::condition_variable ready_;
+    std::deque<Job> classes_[kNumPriorities];
+    size_t size_ = 0;
+    bool closed_ = false;
+};
+
+} // namespace server
+} // namespace apir
+
+#endif // APIR_SERVER_JOB_QUEUE_HH

@@ -1,0 +1,135 @@
+#include "server/service.hh"
+
+#include <stdexcept>
+#include <utility>
+
+#include "config/canonical.hh"
+#include "config/loader.hh"
+#include "support/logging.hh"
+#include "support/str.hh"
+
+namespace apir {
+namespace server {
+
+SimService::SimService(std::string scenarioDir, double maxScale)
+    : scenarioDir_(std::move(scenarioDir)), maxScale_(maxScale)
+{
+}
+
+AccelConfig
+SimService::configFor(const SimRequest &req) const
+{
+    AccelConfig cfg;
+    if (!req.config.empty() || !req.sets.empty()) {
+        std::string path;
+        if (!req.config.empty()) {
+            // A bare name addresses the server's scenario corpus; a
+            // path (anything with a '/') is taken literally, like the
+            // benches' --config flag.
+            path = req.config;
+            if (path.find('/') == std::string::npos)
+                path = scenarioDir_ + "/" + path + ".conf";
+        }
+        cfg = loadScenarioFile(path, bench::defaultAccelConfig(),
+                               req.sets)
+                  .accel;
+    } else {
+        cfg = bench::defaultAccelConfig();
+    }
+    // Compose exactly like defaultAccelConfig(Options): fast_forward
+    // can only disable, bandwidth_scale multiplies the base's.
+    cfg.fastForward = cfg.fastForward && req.fastForward;
+    cfg.mem.bandwidthScale *= req.bandwidthScale;
+    return cfg;
+}
+
+std::string
+SimService::requestKey(const SimRequest &req) const
+{
+    // Two requests that describe the same simulation — whatever mix
+    // of scenario file and individual overrides got them there — must
+    // land on the same key, so the machine half is the canonicalized
+    // knob tuple of the *resolved* config, not the request text.
+    return strprintf("app=%s|scale=%.17g|seed=%u|verify=%d|",
+                     req.app.c_str(), req.scale, req.seed,
+                     req.verify ? 1 : 0) +
+           configCanonicalKey(configFor(req));
+}
+
+std::string
+SimService::handle(const SimRequest &req)
+{
+    // Request-scoped failures (unknown scenario knob, bad --set
+    // spelling, verification mismatch) arrive as fatal(); within this
+    // scope they throw instead of exiting, so one bad request costs
+    // one error response, not the daemon.
+    ScopedFatalThrows guard;
+    try {
+        return compute(req);
+    } catch (const std::exception &e) {
+        return errorResponse(e.what());
+    }
+}
+
+std::string
+SimService::compute(const SimRequest &req)
+{
+    auto b = bench::benchFromName(req.app);
+    if (!b)
+        throw std::runtime_error(
+            "unknown app '" + req.app +
+            "' (expected SPEC-BFS, COOR-BFS, SPEC-SSSP, SPEC-MST, "
+            "SPEC-DMR or COOR-LU)");
+    if (maxScale_ > 0.0 && req.scale > maxScale_)
+        throw std::runtime_error(
+            strprintf("scale %g exceeds this server's --max-scale %g",
+                      req.scale, maxScale_));
+
+    AccelConfig cfg = configFor(req);
+    std::string key = strprintf("app=%s|scale=%.17g|seed=%u|verify=%d|",
+                                req.app.c_str(), req.scale, req.seed,
+                                req.verify ? 1 : 0) +
+                      configCanonicalKey(cfg);
+
+    return results_.getOrCompute(key, [&]() -> std::string {
+        // The workload bundle is app-independent (bench_common
+        // generates every figure's inputs from one (scale, seed)
+        // pair), so six apps at one scale share a single generation.
+        std::string wkey =
+            strprintf("scale=%.17g|seed=%u", req.scale, req.seed);
+        std::shared_ptr<const bench::Workloads> w =
+            workloads_.getOrCompute(wkey, [&] {
+                return std::make_shared<const bench::Workloads>(
+                    bench::makeWorkloads(req.scale, req.seed));
+            });
+
+        bench::AccelRun run =
+            bench::runAccelerator(*b, *w, cfg, req.verify);
+
+        JsonValue rj = bench::runToJson(run);
+        rj.set("benchmark", JsonValue::str(req.app));
+        JsonValue doc = JsonValue::object();
+        doc.set("status", JsonValue::str("ok"));
+        doc.set("app", JsonValue::str(req.app));
+        doc.set("scale", JsonValue::number(req.scale));
+        doc.set("seed", JsonValue::number(req.seed));
+        doc.set("run", std::move(rj));
+        // Cached as the serialized line: a replayed response is the
+        // same bytes as the freshly computed one, by construction.
+        return doc.dump();
+    });
+}
+
+CacheStats
+SimService::cacheStats() const
+{
+    CacheStats cs;
+    cs.workloadHits = workloads_.hits();
+    cs.workloadMisses = workloads_.misses();
+    cs.resultHits = results_.hits();
+    cs.resultMisses = results_.misses();
+    return cs;
+}
+
+} // namespace server
+} // namespace apir

@@ -321,6 +321,23 @@ class Parser
     JsonValue
     parseValue()
     {
+        // The parser recurses per nesting level, so depth must be
+        // bounded: now that documents arrive over a socket (apird), a
+        // line of ten thousand '[' characters would otherwise be a
+        // remotely triggered stack overflow. 128 levels is an order
+        // of magnitude beyond anything the stats documents produce.
+        if (depth_ >= kMaxDepth)
+            err("nesting deeper than " + std::to_string(kMaxDepth) +
+                " levels");
+        ++depth_;
+        JsonValue v = parseValueInner();
+        --depth_;
+        return v;
+    }
+
+    JsonValue
+    parseValueInner()
+    {
         skipWs();
         char c = peek();
         switch (c) {
@@ -481,8 +498,11 @@ class Parser
         }
     }
 
+    static constexpr int kMaxDepth = 128;
+
     const std::string &text_;
     size_t pos_ = 0;
+    int depth_ = 0;
 };
 
 } // namespace

@@ -11,6 +11,11 @@ namespace {
 // may consult and set quietness without a data race.
 std::atomic<bool> quiet{false};
 
+// Depth of nested ScopedFatalThrows regions on this thread. While
+// positive, fatal() raises FatalError instead of exiting: each server
+// worker thread guards its own request without affecting the others.
+thread_local int fatalThrowDepth = 0;
+
 const char *
 levelName(LogLevel level)
 {
@@ -37,6 +42,16 @@ quietLogging()
     return quiet.load(std::memory_order_relaxed);
 }
 
+ScopedFatalThrows::ScopedFatalThrows()
+{
+    ++fatalThrowDepth;
+}
+
+ScopedFatalThrows::~ScopedFatalThrows()
+{
+    --fatalThrowDepth;
+}
+
 namespace detail {
 
 void
@@ -51,6 +66,11 @@ logMessage(LogLevel level, const std::string &msg)
 void
 logAndDie(LogLevel level, const std::string &where, const std::string &msg)
 {
+    // Inside a ScopedFatalThrows region a *user* error unwinds to the
+    // guard holder (who turns it into an error response) instead of
+    // taking the process down. Panics still fall through to abort.
+    if (level == LogLevel::Fatal && fatalThrowDepth > 0)
+        throw FatalError(where + msg);
     std::fprintf(stderr, "%s: %s%s\n", levelName(level), where.c_str(),
                  msg.c_str());
     if (level == LogLevel::Panic)

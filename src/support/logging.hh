@@ -13,9 +13,41 @@
 
 #include <cstdlib>
 #include <sstream>
+#include <stdexcept>
 #include <string>
 
 namespace apir {
+
+/**
+ * What fatal() raises inside a ScopedFatalThrows region instead of
+ * exiting the process. Carries the fully formatted diagnostic (the
+ * same text fatal() would have printed).
+ */
+class FatalError : public std::runtime_error
+{
+  public:
+    explicit FatalError(const std::string &msg)
+        : std::runtime_error(msg) {}
+};
+
+/**
+ * While an instance is live on the current thread, fatal() throws
+ * FatalError instead of printing and exiting. Long-running services
+ * (apird) wrap request handling in one of these so a malformed knob,
+ * bad scenario file, or failed verification coming in over the wire
+ * becomes an error *response*, not daemon death. Nests; thread-local,
+ * so one request's guard never changes another thread's behavior.
+ * panic() / APIR_ASSERT are unaffected — an internal invariant
+ * violation still aborts, even mid-request.
+ */
+class ScopedFatalThrows
+{
+  public:
+    ScopedFatalThrows();
+    ~ScopedFatalThrows();
+    ScopedFatalThrows(const ScopedFatalThrows &) = delete;
+    ScopedFatalThrows &operator=(const ScopedFatalThrows &) = delete;
+};
 
 /** Severity of a log message. */
 enum class LogLevel { Inform, Warn, Fatal, Panic };

@@ -1,8 +1,31 @@
 #include "support/stats.hh"
 
+#include <algorithm>
+#include <cmath>
 #include <iomanip>
 
 namespace apir {
+
+double
+Histogram::quantile(double q) const
+{
+    if (total_ == 0)
+        return 0.0;
+    q = std::clamp(q, 0.0, 1.0);
+    // Rank of the q-th sample, 1-based; q = 0 means the first sample.
+    uint64_t rank = static_cast<uint64_t>(
+        std::ceil(q * static_cast<double>(total_)));
+    rank = std::max<uint64_t>(rank, 1);
+    uint64_t seen = 0;
+    for (size_t i = 0; i < counts_.size(); ++i) {
+        seen += counts_[i];
+        if (seen >= rank)
+            return width_ * static_cast<double>(i + 1);
+    }
+    // The rank lands among the overflow samples: report the range
+    // ceiling rather than pretending we know their magnitude.
+    return width_ * static_cast<double>(counts_.size());
+}
 
 void
 StatGroup::dump(std::ostream &os) const

@@ -96,6 +96,16 @@ class Histogram
     /** Samples at or past buckets() * bucketWidth(). */
     uint64_t overflow() const { return overflow_; }
 
+    /**
+     * Approximate q-quantile (q in [0, 1]): the upper edge of the
+     * bucket containing the ceil(q * total)-th smallest sample — a
+     * conservative (never-underestimating) bound at bucket-width
+     * resolution, which is what service-time p50/p99 reporting needs.
+     * Quantiles that land in the overflow bucket return the range
+     * ceiling buckets() * bucketWidth(); an empty histogram returns 0.
+     */
+    double quantile(double q) const;
+
   private:
     double width_;
     std::vector<uint64_t> counts_;

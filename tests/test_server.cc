@@ -1,0 +1,470 @@
+/**
+ * @file
+ * Unit and end-to-end tests of the apird subsystem: the wire
+ * protocol's strict parser, the canonical request key, the MemoStore
+ * caches, the bounded priority queue, the service's fatal-to-error
+ * containment, and a live socket round trip with graceful drain.
+ */
+
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "config/canonical.hh"
+#include "dse/memo.hh"
+#include "server/job_queue.hh"
+#include "server/protocol.hh"
+#include "server/server.hh"
+#include "server/service.hh"
+#include "support/json.hh"
+
+namespace apir {
+namespace server {
+namespace {
+
+// ---------------------------------------------------------------- wire
+
+TEST(Protocol, ParsesFullSimRequest)
+{
+    Request r = parseRequest(
+        R"({"app":"SPEC-MST","scale":0.25,"seed":7,"priority":"high",)"
+        R"("config":"harp_default","set":["accel.ruleLanes=16"],)"
+        R"("fast_forward":false,"bandwidth_scale":0.5,"verify":true})");
+    EXPECT_EQ(r.op, Request::Op::Sim);
+    EXPECT_EQ(r.sim.app, "SPEC-MST");
+    EXPECT_DOUBLE_EQ(r.sim.scale, 0.25);
+    EXPECT_EQ(r.sim.seed, 7u);
+    EXPECT_EQ(r.sim.priority, Priority::High);
+    EXPECT_EQ(r.sim.config, "harp_default");
+    ASSERT_EQ(r.sim.sets.size(), 1u);
+    EXPECT_EQ(r.sim.sets[0], "accel.ruleLanes=16");
+    EXPECT_FALSE(r.sim.fastForward);
+    EXPECT_DOUBLE_EQ(r.sim.bandwidthScale, 0.5);
+    EXPECT_TRUE(r.sim.verify);
+}
+
+TEST(Protocol, DefaultsMatchBenchDefaults)
+{
+    Request r = parseRequest(R"({"app":"SPEC-BFS"})");
+    EXPECT_DOUBLE_EQ(r.sim.scale, 1.0);
+    EXPECT_EQ(r.sim.seed, 42u);
+    EXPECT_EQ(r.sim.priority, Priority::Normal);
+    EXPECT_TRUE(r.sim.fastForward);
+    EXPECT_FALSE(r.sim.verify);
+}
+
+TEST(Protocol, RejectsMalformedRequests)
+{
+    // Typo containment: every one of these must name the offender,
+    // not silently simulate something else.
+    EXPECT_THROW(parseRequest("not json"), std::runtime_error);
+    EXPECT_THROW(parseRequest("[1,2]"), std::runtime_error);
+    EXPECT_THROW(parseRequest(R"({"app":"SPEC-BFS","scal":1})"),
+                 std::runtime_error);
+    EXPECT_THROW(parseRequest(R"({"app":42})"), std::runtime_error);
+    EXPECT_THROW(parseRequest(R"({"app":"SPEC-BFS","scale":0})"),
+                 std::runtime_error);
+    EXPECT_THROW(parseRequest(R"({"app":"SPEC-BFS","scale":-1})"),
+                 std::runtime_error);
+    EXPECT_THROW(parseRequest(R"({"app":"SPEC-BFS","seed":1.5})"),
+                 std::runtime_error);
+    EXPECT_THROW(parseRequest(R"({"app":"SPEC-BFS","seed":-3})"),
+                 std::runtime_error);
+    EXPECT_THROW(
+        parseRequest(R"({"app":"SPEC-BFS","seed":4294967296})"),
+        std::runtime_error);
+    EXPECT_THROW(
+        parseRequest(R"({"app":"SPEC-BFS","priority":"urgent"})"),
+        std::runtime_error);
+    EXPECT_THROW(parseRequest(R"({"app":"SPEC-BFS","set":"x=1"})"),
+                 std::runtime_error);
+    EXPECT_THROW(parseRequest(R"({"op":"reboot"})"),
+                 std::runtime_error);
+    // sim requires app; control ops must not carry one.
+    EXPECT_THROW(parseRequest(R"({"scale":1})"), std::runtime_error);
+    EXPECT_THROW(parseRequest(R"({"op":"ping","app":"SPEC-BFS"})"),
+                 std::runtime_error);
+}
+
+TEST(Protocol, SerializeParseRoundTrip)
+{
+    SimRequest req;
+    req.app = "COOR-LU";
+    req.scale = 0.125;
+    req.seed = 99;
+    req.priority = Priority::Low;
+    req.config = "stress_tiny_buffers";
+    req.sets = {"mem.bandwidthScale=0.5", "accel.queueBanks=2"};
+    req.fastForward = false;
+    req.bandwidthScale = 2.0;
+    req.verify = true;
+
+    Request back = parseRequest(serializeRequest(req));
+    EXPECT_EQ(back.op, Request::Op::Sim);
+    EXPECT_EQ(back.sim.app, req.app);
+    EXPECT_DOUBLE_EQ(back.sim.scale, req.scale);
+    EXPECT_EQ(back.sim.seed, req.seed);
+    EXPECT_EQ(back.sim.priority, req.priority);
+    EXPECT_EQ(back.sim.config, req.config);
+    EXPECT_EQ(back.sim.sets, req.sets);
+    EXPECT_EQ(back.sim.fastForward, req.fastForward);
+    EXPECT_DOUBLE_EQ(back.sim.bandwidthScale, req.bandwidthScale);
+    EXPECT_EQ(back.sim.verify, req.verify);
+}
+
+// ------------------------------------------------------ canonical key
+
+TEST(CanonicalKey, StableAndKnobSensitive)
+{
+    AccelConfig a = bench::defaultAccelConfig();
+    AccelConfig b = bench::defaultAccelConfig();
+    EXPECT_EQ(configCanonicalKey(a), configCanonicalKey(b));
+
+    b.ruleLanes = a.ruleLanes * 2;
+    EXPECT_NE(configCanonicalKey(a), configCanonicalKey(b));
+
+    b = bench::defaultAccelConfig();
+    b.mem.bandwidthScale *= 0.5;
+    EXPECT_NE(configCanonicalKey(a), configCanonicalKey(b));
+
+    // Trace hooks are observability, not machine identity.
+    b = bench::defaultAccelConfig();
+    std::ostringstream sink;
+    b.trace = &sink;
+    EXPECT_EQ(configCanonicalKey(a), configCanonicalKey(b));
+}
+
+TEST(CanonicalKey, TwoSpellingsOfOneMachineCollide)
+{
+    SimService svc(APIR_SCENARIO_DIR);
+    SimRequest viaSet;
+    viaSet.app = "SPEC-BFS";
+    viaSet.scale = 0.05;
+    viaSet.sets = {"mem.bandwidthScale=0.5"};
+    SimRequest viaFlag;
+    viaFlag.app = "SPEC-BFS";
+    viaFlag.scale = 0.05;
+    viaFlag.bandwidthScale = 0.5;
+    EXPECT_EQ(svc.requestKey(viaSet), svc.requestKey(viaFlag));
+
+    SimRequest different = viaFlag;
+    different.seed = 43;
+    EXPECT_NE(svc.requestKey(viaFlag), svc.requestKey(different));
+}
+
+// ------------------------------------------------------------ memo
+
+TEST(MemoStore, CountsHitsAndMisses)
+{
+    MemoStore<int, int> memo;
+    EXPECT_FALSE(memo.tryGet(1).has_value());
+    memo.put(1, 10);
+    auto hit = memo.tryGet(1);
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_EQ(*hit, 10);
+    EXPECT_EQ(memo.hits(), 1u);
+    EXPECT_EQ(memo.misses(), 1u);
+    EXPECT_EQ(memo.size(), 1u);
+}
+
+TEST(MemoStore, GetOrComputeRunsOncePerKey)
+{
+    MemoStore<int, int> memo;
+    std::atomic<int> computations{0};
+    std::vector<std::thread> threads;
+    std::atomic<int> sum{0};
+    for (int t = 0; t < 8; ++t)
+        threads.emplace_back([&] {
+            sum += memo.getOrCompute(7, [&] {
+                ++computations;
+                // Widen the race window: everyone should pile onto
+                // this one computation, not start their own.
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(5));
+                return 21;
+            });
+        });
+    for (auto &t : threads)
+        t.join();
+    EXPECT_EQ(computations.load(), 1);
+    EXPECT_EQ(sum.load(), 8 * 21);
+    EXPECT_EQ(memo.hits() + memo.misses(), 8u);
+    EXPECT_EQ(memo.misses(), 1u);
+}
+
+TEST(MemoStore, FailedComputationIsRetryable)
+{
+    MemoStore<int, int> memo;
+    EXPECT_THROW(memo.getOrCompute(3,
+                                   []() -> int {
+                                       throw std::runtime_error("no");
+                                   }),
+                 std::runtime_error);
+    // The failure must not be cached: the next caller recomputes.
+    EXPECT_EQ(memo.getOrCompute(3, [] { return 9; }), 9);
+    EXPECT_EQ(memo.size(), 1u);
+}
+
+// ------------------------------------------------------------ queue
+
+TEST(JobQueue, StrictPriorityThenFifo)
+{
+    JobQueue<int> q(8);
+    EXPECT_TRUE(q.push(Priority::Low, 1));
+    EXPECT_TRUE(q.push(Priority::Normal, 2));
+    EXPECT_TRUE(q.push(Priority::High, 3));
+    EXPECT_TRUE(q.push(Priority::High, 4));
+    EXPECT_TRUE(q.push(Priority::Low, 5));
+    std::vector<int> order;
+    for (int i = 0; i < 5; ++i)
+        order.push_back(*q.pop());
+    EXPECT_EQ(order, (std::vector<int>{3, 4, 2, 1, 5}));
+}
+
+TEST(JobQueue, BoundedPushRefusesWithoutBlocking)
+{
+    JobQueue<int> q(2);
+    EXPECT_TRUE(q.push(Priority::Normal, 1));
+    EXPECT_TRUE(q.push(Priority::High, 2));
+    // Capacity is shared across classes: High cannot evict Normal.
+    EXPECT_FALSE(q.push(Priority::High, 3));
+    EXPECT_EQ(*q.pop(), 2);
+    EXPECT_TRUE(q.push(Priority::Low, 4));
+}
+
+TEST(JobQueue, CloseDrainsAdmittedWorkThenEnds)
+{
+    JobQueue<int> q(4);
+    EXPECT_TRUE(q.push(Priority::Normal, 1));
+    EXPECT_TRUE(q.push(Priority::Normal, 2));
+    q.close();
+    EXPECT_FALSE(q.push(Priority::High, 3)); // no admission post-close
+    EXPECT_EQ(*q.pop(), 1);
+    EXPECT_EQ(*q.pop(), 2);
+    EXPECT_FALSE(q.pop().has_value());
+    EXPECT_FALSE(q.pop().has_value()); // idempotent
+}
+
+TEST(JobQueue, CloseWakesBlockedPop)
+{
+    JobQueue<int> q(4);
+    std::thread popper([&] { EXPECT_FALSE(q.pop().has_value()); });
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    q.close();
+    popper.join();
+}
+
+// ---------------------------------------------------------- service
+
+TEST(SimService, BadRequestsBecomeErrorResponsesNotExits)
+{
+    SimService svc(APIR_SCENARIO_DIR);
+
+    SimRequest unknownApp;
+    unknownApp.app = "SPEC-FFT";
+    EXPECT_EQ(svc.handle(unknownApp).rfind("{\"status\":\"error\"", 0),
+              0u);
+
+    // A typoed knob travels the loader's fatal() path; within the
+    // service that must cost one error response, not the process.
+    SimRequest badKnob;
+    badKnob.app = "SPEC-BFS";
+    badKnob.scale = 0.02;
+    badKnob.sets = {"accel.warpWidth=32"};
+    EXPECT_EQ(svc.handle(badKnob).rfind("{\"status\":\"error\"", 0),
+              0u);
+
+    SimRequest badScenario;
+    badScenario.app = "SPEC-BFS";
+    badScenario.config = "no_such_scenario";
+    EXPECT_EQ(
+        svc.handle(badScenario).rfind("{\"status\":\"error\"", 0), 0u);
+}
+
+TEST(SimService, MaxScaleIsAnAdmissionValve)
+{
+    SimService svc(APIR_SCENARIO_DIR, 0.5);
+    SimRequest req;
+    req.app = "SPEC-BFS";
+    req.scale = 1.0;
+    std::string resp = svc.handle(req);
+    EXPECT_EQ(resp.rfind("{\"status\":\"error\"", 0), 0u);
+    EXPECT_NE(resp.find("max-scale"), std::string::npos);
+}
+
+TEST(SimService, CachesAndReplaysIdenticalBytes)
+{
+    SimService svc(APIR_SCENARIO_DIR);
+    SimRequest req;
+    req.app = "SPEC-BFS";
+    req.scale = 0.02;
+
+    std::string first = svc.handle(req);
+    EXPECT_EQ(first.rfind("{\"status\":\"ok\"", 0), 0u);
+    std::string second = svc.handle(req);
+    EXPECT_EQ(first, second); // replayed, not recomputed
+
+    CacheStats cs = svc.cacheStats();
+    EXPECT_EQ(cs.resultHits, 1u);
+    EXPECT_EQ(cs.resultMisses, 1u);
+    EXPECT_EQ(cs.workloadMisses, 1u);
+
+    // A different app at the same (scale, seed) reuses the workload
+    // bundle but not the result.
+    SimRequest sssp = req;
+    sssp.app = "SPEC-SSSP";
+    EXPECT_EQ(svc.handle(sssp).rfind("{\"status\":\"ok\"", 0), 0u);
+    cs = svc.cacheStats();
+    EXPECT_EQ(cs.workloadHits, 1u);
+    EXPECT_EQ(cs.workloadMisses, 1u);
+    EXPECT_EQ(cs.resultMisses, 2u);
+
+    // And a fresh service (the --once situation) produces the same
+    // bytes from a cold start.
+    SimService cold(APIR_SCENARIO_DIR);
+    EXPECT_EQ(cold.handle(req), first);
+}
+
+// ------------------------------------------------------- end to end
+
+namespace e2e {
+
+int
+connectTo(uint16_t port)
+{
+    int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    EXPECT_GE(fd, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+    EXPECT_EQ(::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                        sizeof(addr)),
+              0);
+    return fd;
+}
+
+std::string
+rpc(int fd, const std::string &line)
+{
+    std::string out = line + "\n";
+    EXPECT_EQ(::send(fd, out.data(), out.size(), 0),
+              static_cast<ssize_t>(out.size()));
+    std::string resp;
+    char c;
+    while (::recv(fd, &c, 1, 0) == 1) {
+        if (c == '\n')
+            break;
+        resp.push_back(c);
+    }
+    return resp;
+}
+
+} // namespace e2e
+
+TEST(ApirdServer, SocketRoundTripCachingAndDrain)
+{
+    ApirdOptions opt;
+    opt.workers = 1;
+    opt.scenarioDir = APIR_SCENARIO_DIR;
+    ApirdServer srv(opt);
+    uint16_t port = srv.start();
+    ASSERT_GT(port, 0);
+    std::thread serving([&] { srv.serve(); });
+
+    int fd = e2e::connectTo(port);
+    EXPECT_EQ(e2e::rpc(fd, R"({"op":"ping"})"),
+              R"({"status":"ok","event":"pong"})");
+
+    std::string req = R"({"app":"SPEC-BFS","scale":0.02})";
+    std::string first = e2e::rpc(fd, req);
+    EXPECT_EQ(first.rfind("{\"status\":\"ok\"", 0), 0u);
+    EXPECT_EQ(e2e::rpc(fd, req), first); // served from cache, same bytes
+
+    // The daemon's bytes equal a cold, single-process evaluation of
+    // the same request — the soak's core invariant, in miniature.
+    SimService cold(APIR_SCENARIO_DIR);
+    EXPECT_EQ(cold.handle(parseRequest(req).sim), first);
+
+    std::string bad = e2e::rpc(fd, R"({"app":"SPEC-BFS","turbo":1})");
+    EXPECT_EQ(bad.rfind("{\"status\":\"error\"", 0), 0u);
+
+    JsonValue stats =
+        JsonValue::parse(e2e::rpc(fd, R"({"op":"stats"})"));
+    const JsonValue &s = stats.at("stats");
+    EXPECT_EQ(s.at("sims_ok").asNumber(), 2.0);
+    EXPECT_EQ(s.at("result_cache").at("hits").asNumber(), 1.0);
+    EXPECT_EQ(s.at("parse_errors").asNumber(), 1.0);
+
+    // shutdown answers first, then drains; serve() must return and
+    // the connection must be closed from the server side.
+    EXPECT_EQ(e2e::rpc(fd, R"({"op":"shutdown"})"),
+              R"({"status":"ok","event":"draining"})");
+    serving.join();
+    char c;
+    EXPECT_EQ(::recv(fd, &c, 1, 0), 0); // EOF
+    ::close(fd);
+
+    // Post-drain metrics survive for the final_stats line.
+    JsonValue post = JsonValue::parse(srv.statsJson());
+    EXPECT_EQ(post.at("stats").at("sims_ok").asNumber(), 2.0);
+}
+
+TEST(ApirdServer, ConcurrentMixedPriorityClientsAllAnswered)
+{
+    ApirdOptions opt;
+    opt.workers = 2;
+    opt.queueDepth = 64;
+    opt.scenarioDir = APIR_SCENARIO_DIR;
+    ApirdServer srv(opt);
+    uint16_t port = srv.start();
+    std::thread serving([&] { srv.serve(); });
+
+    // Two apps at one (scale, seed) across three priorities: the
+    // result cache sees two keys, the workload cache sees one — so
+    // the apps must share a generation — and every client must get a
+    // well-formed ok response regardless of interleaving.
+    const char *prios[] = {"high", "normal", "low"};
+    std::atomic<int> ok{0};
+    std::vector<std::thread> clients;
+    for (int i = 0; i < 8; ++i)
+        clients.emplace_back([&, i] {
+            int fd = e2e::connectTo(port);
+            std::string req =
+                std::string(R"({"app":")") +
+                (i % 2 ? "SPEC-BFS" : "SPEC-SSSP") +
+                R"(","scale":0.02,"priority":")" + prios[i % 3] +
+                "\"}";
+            if (e2e::rpc(fd, req).rfind("{\"status\":\"ok\"", 0) == 0)
+                ++ok;
+            ::close(fd);
+        });
+    for (auto &t : clients)
+        t.join();
+    EXPECT_EQ(ok.load(), 8);
+
+    srv.requestDrain();
+    serving.join();
+
+    JsonValue post = JsonValue::parse(srv.statsJson());
+    const JsonValue &s = post.at("stats");
+    EXPECT_EQ(s.at("sims_ok").asNumber(), 8.0);
+    // 8 requests over 2 knob tuples: the caches must have soaked up
+    // the repeats.
+    EXPECT_GE(s.at("result_cache").at("hits").asNumber(), 6.0);
+    EXPECT_GE(s.at("workload_cache").at("hits").asNumber(), 1.0);
+}
+
+} // namespace
+} // namespace server
+} // namespace apir

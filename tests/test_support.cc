@@ -7,10 +7,12 @@
 
 #include <gtest/gtest.h>
 
+#include <functional>
 #include <set>
 #include <sstream>
 
 #include "support/json.hh"
+#include "support/logging.hh"
 #include "support/random.hh"
 #include "support/stats.hh"
 #include "support/stats_registry.hh"
@@ -355,6 +357,180 @@ TEST(ChromeTracer, WindowFiltersEvents)
         saw_in |= name == "in";
     }
     EXPECT_TRUE(saw_in);
+}
+
+// ------------------------------------------------------------------
+// Wire-format property tests for apird (docs/apird.md): the network
+// daemon parses attacker-shaped bytes with this model, so round-trip
+// fidelity and clean located rejection are load-bearing, not nice-to-
+// have.
+
+TEST(Json, RoundTripPreservesArbitraryStrings)
+{
+    // Every printable byte, the escapes, and embedded NUL-adjacent
+    // control characters survive dump -> parse unchanged.
+    Rng rng(2024);
+    for (int iter = 0; iter < 200; ++iter) {
+        std::string s;
+        size_t len = rng.below(64);
+        for (size_t i = 0; i < len; ++i)
+            s.push_back(static_cast<char>(rng.range(1, 126)));
+        JsonValue back = JsonValue::parse(JsonValue::str(s).dump());
+        EXPECT_EQ(back.asString(), s);
+    }
+}
+
+TEST(Json, RoundTripPreservesDeeplyNestedObjects)
+{
+    JsonValue v = JsonValue::number(7);
+    for (int i = 0; i < 40; ++i) {
+        JsonValue obj = JsonValue::object();
+        obj.set("k" + std::to_string(i), std::move(v));
+        JsonValue arr = JsonValue::array();
+        arr.push(std::move(obj));
+        v = std::move(arr);
+    }
+    JsonValue back = JsonValue::parse(v.dump());
+    for (int i = 39; i >= 0; --i) {
+        ASSERT_EQ(back.size(), 1u);
+        back = back.at(0).at("k" + std::to_string(i));
+    }
+    EXPECT_EQ(back.asNumber(), 7.0);
+}
+
+TEST(Json, ParseRejectsPathologicalNestingDepth)
+{
+    // A remote client must not be able to overflow the parser's
+    // stack with "[[[[..."; past the depth limit the parser throws
+    // a located error instead of recursing.
+    std::string deep(100000, '[');
+    EXPECT_THROW(JsonValue::parse(deep), std::runtime_error);
+    std::string deepObj;
+    for (int i = 0; i < 100000; ++i)
+        deepObj += "{\"a\":";
+    EXPECT_THROW(JsonValue::parse(deepObj), std::runtime_error);
+}
+
+TEST(Json, RoundTripPreservesLargeAndAwkwardNumbers)
+{
+    const double cases[] = {0.0,          -0.0,       1e-300,
+                            -1e300,       1e15 + 1,   -(1e15 + 1),
+                            4294967295.0, 0.1,        1.0 / 3.0,
+                            6.02214076e23};
+    for (double d : cases) {
+        JsonValue back = JsonValue::parse(JsonValue::number(d).dump());
+        EXPECT_EQ(back.asNumber(), d) << "for " << d;
+    }
+}
+
+TEST(Json, RandomizedDocumentRoundTrip)
+{
+    // Generative round-trip over random document shapes: whatever
+    // the builder can express, dump -> parse -> dump must be a fixed
+    // point (the string form is canonical).
+    Rng rng(77);
+    std::function<JsonValue(int)> gen = [&](int depth) -> JsonValue {
+        switch (depth <= 0 ? rng.below(4) : rng.below(6)) {
+          case 0: return JsonValue();
+          case 1: return JsonValue::boolean(rng.chance(0.5));
+          case 2:
+            return JsonValue::number(
+                static_cast<double>(rng.range(-1000000, 1000000)));
+          case 3: {
+            std::string s;
+            size_t len = rng.below(8);
+            for (size_t i = 0; i < len; ++i)
+                s.push_back(static_cast<char>(rng.range(32, 126)));
+            return JsonValue::str(s);
+          }
+          case 4: {
+            JsonValue arr = JsonValue::array();
+            size_t n = rng.below(4);
+            for (size_t i = 0; i < n; ++i)
+                arr.push(gen(depth - 1));
+            return arr;
+          }
+          default: {
+            JsonValue obj = JsonValue::object();
+            size_t n = rng.below(4);
+            for (size_t i = 0; i < n; ++i)
+                obj.set("k" + std::to_string(i), gen(depth - 1));
+            return obj;
+          }
+        }
+    };
+    for (int iter = 0; iter < 100; ++iter) {
+        std::string once = gen(4).dump();
+        EXPECT_EQ(JsonValue::parse(once).dump(), once);
+    }
+}
+
+TEST(Json, MalformedInputErrorsCarryOffsets)
+{
+    // The daemon forwards parser messages to remote clients; they
+    // must locate the problem, not just say "bad".
+    const char *cases[] = {"{\"a\" 1}", "[1 2]",   "\"unterminated",
+                           "{\"a\":}",  "tru",     "1e",
+                           "1..2",      "\"\\q\"", "nul"};
+    for (const char *c : cases) {
+        try {
+            JsonValue::parse(c);
+            FAIL() << "accepted: " << c;
+        } catch (const std::runtime_error &e) {
+            EXPECT_NE(std::string(e.what()).find("offset"),
+                      std::string::npos)
+                << "no offset in: " << e.what();
+        }
+    }
+}
+
+TEST(Histogram, QuantileTracksBucketUpperEdges)
+{
+    Histogram h(10, 1.0);
+    EXPECT_EQ(h.quantile(0.5), 0.0); // empty
+    for (int i = 0; i < 100; ++i)
+        h.sample(i / 10.0); // 10 samples per bucket
+    EXPECT_EQ(h.quantile(0.0), 1.0);  // clamped to 1st sample's bucket
+    EXPECT_EQ(h.quantile(0.05), 1.0); // 5th sample, bucket [0,1)
+    EXPECT_EQ(h.quantile(0.5), 5.0);  // 50th sample, bucket [4,5)
+    EXPECT_EQ(h.quantile(0.99), 10.0);
+    EXPECT_EQ(h.quantile(1.0), 10.0);
+}
+
+TEST(Histogram, QuantileOverflowReturnsRangeCeiling)
+{
+    Histogram h(4, 5.0);
+    h.sample(1.0);
+    h.sample(100.0); // overflow bucket
+    EXPECT_EQ(h.quantile(0.25), 5.0);
+    // The conservative bound for a sample past the range is the
+    // range ceiling, never an in-range underestimate.
+    EXPECT_EQ(h.quantile(1.0), 20.0);
+}
+
+TEST(Logging, ScopedFatalThrowsConvertsFatalToException)
+{
+    // Inside the scope, fatal() throws FatalError (apird turns bad
+    // requests into error responses with this); the message survives.
+    ScopedFatalThrows guard;
+    try {
+        fatal("knob ", 42, " out of range");
+        FAIL() << "fatal returned";
+    } catch (const FatalError &e) {
+        EXPECT_NE(std::string(e.what()).find("knob 42 out of range"),
+                  std::string::npos);
+    }
+}
+
+TEST(Logging, ScopedFatalThrowsNests)
+{
+    ScopedFatalThrows outer;
+    {
+        ScopedFatalThrows inner;
+        EXPECT_THROW(fatal("inner"), FatalError);
+    }
+    // Still armed: the outer scope keeps fatal() throwing.
+    EXPECT_THROW(fatal("outer"), FatalError);
 }
 
 } // namespace

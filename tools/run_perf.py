@@ -101,6 +101,40 @@ def check_regression(fresh, baseline_path, tolerance):
           f"{len(baseline['points'])} benchmarks")
 
 
+def write_summary(fresh, baseline_path, out_path):
+    """Append a per-counter markdown delta table (fresh vs baseline)
+    to `out_path` — pointed at $GITHUB_STEP_SUMMARY by CI so every
+    counter's drift is visible on the job page, not just the
+    cycles_per_sec pass/fail."""
+    baseline = json.load(open(baseline_path))
+    counters = DET_FIELDS + TICK_FIELDS + ("cycles_per_sec",)
+    lines = ["### Tick-loop perf vs committed baseline", "",
+             f"scale {fresh['scale']}, reps {fresh['reps']}", "",
+             "| benchmark | counter | baseline | fresh | delta |",
+             "|---|---|---:|---:|---:|"]
+    for name in sorted(baseline["points"]):
+        base = baseline["points"][name]
+        point = fresh["points"].get(name, {})
+        for c in counters:
+            b, f = base.get(c), point.get(c)
+            if b is None or f is None:
+                delta = "n/a"
+            elif b == f:
+                delta = "="
+            elif b == 0:
+                delta = "new"
+            else:
+                delta = f"{(f - b) / b:+.1%}"
+            fmt = lambda v: ("n/a" if v is None
+                             else f"{v:.3g}" if isinstance(v, float)
+                             else f"{v}")
+            lines.append(f"| {name} | {c} | {fmt(b)} | {fmt(f)} "
+                         f"| {delta} |")
+    with open(out_path, "a") as f:
+        f.write("\n".join(lines) + "\n")
+    print(f"appended per-counter delta table to {out_path}")
+
+
 def main():
     ap = argparse.ArgumentParser()
     ap.add_argument("--build-dir", default="build")
@@ -113,7 +147,13 @@ def main():
                     help="compare against a committed BENCH_tick.json")
     ap.add_argument("--tolerance", type=float, default=0.30,
                     help="allowed fractional cycles/sec drop (default 0.30)")
+    ap.add_argument("--summary", metavar="PATH",
+                    help="with --check: append a per-counter markdown "
+                         "delta table to PATH (e.g. $GITHUB_STEP_SUMMARY)")
     args = ap.parse_args()
+
+    if args.summary and not args.check:
+        ap.error("--summary requires --check")
 
     bench = REPO / args.build_dir / "bench" / "micro_tick"
     if not bench.exists():
@@ -130,6 +170,8 @@ def main():
     print(f"wrote {out} ({len(record['points'])} benchmarks)")
 
     if args.check:
+        if args.summary:
+            write_summary(record, REPO / args.check, args.summary)
         check_regression(record, REPO / args.check, args.tolerance)
 
 
