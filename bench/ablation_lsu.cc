@@ -18,6 +18,7 @@ int
 main(int argc, char **argv)
 {
     Options opt = parseOptions(argc, argv);
+    requireNoCheckpoint(opt, "ablation_lsu");
     Workloads w = makeWorkloads(opt.scale);
 
     std::printf("=== Ablation A: out-of-order vs in-order load/store "
@@ -29,11 +30,11 @@ main(int argc, char **argv)
     for (Bench b : kAllBenches) {
         AccelConfig ooo = defaultAccelConfig(opt);
         ooo.lsuInOrder = false;
-        jobs.push_back({b, ooo, false});
+        jobs.push_back({b, ooo, false, {}});
 
         AccelConfig ino = defaultAccelConfig(opt);
         ino.lsuInOrder = true;
-        jobs.push_back({b, ino, false});
+        jobs.push_back({b, ino, false, {}});
     }
     std::vector<AccelRun> sweep = runSweep(jobs, w, opt.threads);
 

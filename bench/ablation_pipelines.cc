@@ -18,6 +18,7 @@ int
 main(int argc, char **argv)
 {
     Options opt = parseOptions(argc, argv);
+    requireNoCheckpoint(opt, "ablation_pipelines");
     Workloads w = makeWorkloads(opt.scale);
     const uint32_t pipes[] = {1, 2, 4, 8};
 
@@ -27,7 +28,7 @@ main(int argc, char **argv)
         for (uint32_t np : pipes) {
             AccelConfig cfg = defaultAccelConfig(opt);
             cfg.pipelinesPerSet = np;
-            jobs.push_back({b, cfg, false});
+            jobs.push_back({b, cfg, false, {}});
         }
     }
     std::vector<AccelRun> sweep = runSweep(jobs, w, opt.threads);

@@ -22,6 +22,7 @@ int
 main(int argc, char **argv)
 {
     Options opt = parseOptions(argc, argv);
+    requireNoCheckpoint(opt, "ablation_prefetch");
     Workloads w = makeWorkloads(opt.scale);
 
     std::printf("=== Ablation E: generic next-line prefetching in the "
@@ -31,11 +32,11 @@ main(int argc, char **argv)
     JsonValue runs = JsonValue::array();
     std::vector<SweepJob> jobs;
     for (Bench b : kAllBenches) {
-        jobs.push_back({b, defaultAccelConfig(opt), false});
+        jobs.push_back({b, defaultAccelConfig(opt), false, {}});
 
         AccelConfig pf_cfg = defaultAccelConfig(opt);
         pf_cfg.mem.cache.prefetchNextLine = true;
-        jobs.push_back({b, pf_cfg, false});
+        jobs.push_back({b, pf_cfg, false, {}});
     }
     std::vector<AccelRun> sweep = runSweep(jobs, w, opt.threads);
 

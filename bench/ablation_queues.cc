@@ -17,6 +17,7 @@ int
 main(int argc, char **argv)
 {
     Options opt = parseOptions(argc, argv);
+    requireNoCheckpoint(opt, "ablation_queues");
     Workloads w = makeWorkloads(opt.scale);
     const uint32_t banks[] = {1, 2, 4, 8};
 
@@ -27,7 +28,7 @@ main(int argc, char **argv)
         for (uint32_t nb : banks) {
             AccelConfig cfg = defaultAccelConfig(opt);
             cfg.queueBanks = nb;
-            jobs.push_back({b, cfg, false});
+            jobs.push_back({b, cfg, false, {}});
         }
     }
     std::vector<AccelRun> sweep = runSweep(jobs, w, opt.threads);

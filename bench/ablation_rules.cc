@@ -20,6 +20,7 @@ int
 main(int argc, char **argv)
 {
     Options opt = parseOptions(argc, argv);
+    requireNoCheckpoint(opt, "ablation_rules");
     Workloads w = makeWorkloads(opt.scale);
     const uint32_t lanes[] = {2, 4, 8, 16, 32, 64};
 
@@ -31,7 +32,7 @@ main(int argc, char **argv)
             AccelConfig cfg = defaultAccelConfig(opt);
             cfg.ruleLanes = nl;
             cfg.rendezvousEntries = nl;
-            jobs.push_back({b, cfg, false});
+            jobs.push_back({b, cfg, false, {}});
         }
     }
     std::vector<AccelRun> sweep = runSweep(jobs, w, opt.threads);

@@ -1,9 +1,12 @@
 #include "bench_common.hh"
 
+#include <algorithm>
 #include <cmath>
 #include <cstring>
 #include <fstream>
 
+#include "checkpoint/ckpt.hh"
+#include "config/canonical.hh"
 #include "config/strict_num.hh"
 #include "support/logging.hh"
 #include "support/thread_pool.hh"
@@ -14,9 +17,11 @@ namespace bench {
 namespace {
 
 const char kUsage[] =
-    "supported flags: --scale <f>  --stats-json <path>  --threads <n>  "
-    "--no-fast-forward  --bandwidth-scale <f>  --config <file>  "
-    "--set <section.key=value>";
+    "supported flags: --scale <f>  --seed <n>  --stats-json <path>  "
+    "--threads <n>  --no-fast-forward  --bandwidth-scale <f>  "
+    "--config <file>  --set <section.key=value>  "
+    "--checkpoint-save <cycle|auto>:<prefix>  "
+    "--checkpoint-restore <prefix>";
 
 /**
  * One command-line flag, normalized so "--flag value" and
@@ -111,8 +116,28 @@ parseOptions(int argc, char **argv)
             if (opt.scale <= 0.0)
                 fatal("--scale must be positive");
             scaleSet = true;
+        } else if (flag == "--seed") {
+            uint64_t n = unsignedFlag(flag, cur.value());
+            if (n > 0xffffffffull)
+                fatal("--seed must fit in 32 bits");
+            opt.seed = static_cast<uint32_t>(n);
         } else if (flag == "--stats-json") {
             opt.statsJson = cur.value();
+        } else if (flag == "--checkpoint-save") {
+            std::string v = cur.value();
+            size_t colon = v.find(':');
+            if (colon == std::string::npos || colon == 0 ||
+                colon + 1 >= v.size())
+                fatal("--checkpoint-save expects <cycle>:<prefix> or "
+                      "auto:<prefix> (e.g. 50000:warm), got '", v, "'");
+            std::string cyc = v.substr(0, colon);
+            if (cyc == "auto")
+                opt.ckpt.saveAuto = true;
+            else
+                opt.ckpt.saveCycle = unsignedFlag(flag, cyc);
+            opt.ckpt.savePrefix = v.substr(colon + 1);
+        } else if (flag == "--checkpoint-restore") {
+            opt.ckpt.restorePrefix = cur.value();
         } else if (flag == "--threads") {
             uint64_t n = unsignedFlag(flag, cur.value());
             if (n < 1)
@@ -178,13 +203,25 @@ runToJson(const AccelRun &run)
 
 void
 maybeWriteStatsJson(const Options &opt, const std::string &bench,
-                    const JsonValue &runs)
+                    const JsonValue &runs, const Workloads *w)
 {
     if (opt.statsJson.empty())
         return;
     JsonValue doc = JsonValue::object();
     doc.set("bench", JsonValue::str(bench));
     doc.set("scale", JsonValue::number(opt.scale));
+    if (w) {
+        JsonValue wl = JsonValue::object();
+        wl.set("road_vertices",
+               JsonValue::number(w->road.numVertices()));
+        wl.set("road_edges", JsonValue::number(
+                                 static_cast<double>(w->road.numEdges())));
+        wl.set("mesh_points", JsonValue::number(w->meshPoints));
+        wl.set("lu_blocks", JsonValue::number(w->luBlocks));
+        wl.set("lu_block_size", JsonValue::number(w->luBlockSize));
+        wl.set("seed", JsonValue::number(w->seed));
+        doc.set("workload", std::move(wl));
+    }
     doc.set("runs", runs);
     std::ofstream os(opt.statsJson);
     if (!os)
@@ -212,6 +249,7 @@ makeWorkloads(double scale, uint32_t seed)
 {
     Workloads w;
     w.seed = seed;
+    w.scale = scale;
     // Sized so working sets exceed the 64 KB device cache by an
     // order of magnitude: the paper's evaluation is memory-bound.
     auto dim = static_cast<uint32_t>(96 * std::sqrt(scale));
@@ -269,9 +307,171 @@ defaultAccelConfig(const Options &opt)
     return cfg;
 }
 
-AccelRun
-runAccelerator(Bench b, const Workloads &w, AccelConfig cfg, bool verify)
+std::string
+checkpointPath(const std::string &prefix, Bench b)
 {
+    return prefix + "." + benchName(b) + ".ckpt";
+}
+
+void
+requireNoCheckpoint(const Options &opt, const char *bench)
+{
+    if (opt.ckpt.any())
+        fatal(bench, " does not support --checkpoint-save / "
+              "--checkpoint-restore (only fig9_speedup and "
+              "fig10_bandwidth are checkpoint-aware)");
+}
+
+namespace {
+
+/**
+ * Per-benchmark serializers for the host-side dynamic state the
+ * accelerator's commit lambdas mutate (union-find arrays, the mesh,
+ * the LU matrix, produced-successor maps). Benchmarks whose state
+ * lives entirely in device memory keep the empty defaults: the
+ * host.state section is written with an empty payload so the file
+ * layout is uniform across benchmarks.
+ */
+struct HostState
+{
+    std::function<void(ckpt::Writer &)> save = [](ckpt::Writer &) {};
+    std::function<void(ckpt::Reader &)> restore = [](ckpt::Reader &) {};
+};
+
+/**
+ * Serialize a produced-successors map (token serial -> pod vector) in
+ * sorted key order so the file bytes are independent of the
+ * unordered_map's iteration order.
+ */
+template <typename V>
+void
+saveProduced(ckpt::Writer &w,
+             const std::unordered_map<uint64_t, std::vector<V>> &m)
+{
+    std::vector<uint64_t> keys;
+    keys.reserve(m.size());
+    for (const auto &[serial, vec] : m)
+        keys.push_back(serial);
+    std::sort(keys.begin(), keys.end());
+    w.u64(keys.size());
+    for (uint64_t k : keys) {
+        w.u64(k);
+        w.vecPod(m.at(k));
+    }
+}
+
+template <typename V>
+void
+restoreProduced(ckpt::Reader &r,
+                std::unordered_map<uint64_t, std::vector<V>> &m)
+{
+    m.clear();
+    uint64_t n = r.u64();
+    for (uint64_t i = 0; i < n; ++i) {
+        uint64_t k = r.u64();
+        m[k] = r.vecPod<V>();
+    }
+}
+
+/**
+ * Attach the checkpoint directives to a freshly built machine: restore
+ * immediately (overlaying serialized state on the deterministic
+ * rebuild), and/or schedule the save hook. The header sections pin the
+ * identity a restore must match: the structural config key (fatal on
+ * mismatch — the serialized state would not fit the machine), the full
+ * canonical key (warning only, enabling warmup-once-sweep-many runs
+ * where timing knobs such as the bandwidth scale differ), and the
+ * (benchmark, scale, seed) workload identity (fatal — a different
+ * workload makes the state meaningless).
+ */
+void
+wireCheckpoint(Accelerator &accel, const AccelConfig &cfg, Bench b,
+               const Workloads &w, const CheckpointOptions &ck,
+               const HostState &host)
+{
+    if (!ck.restorePrefix.empty()) {
+        std::string path = checkpointPath(ck.restorePrefix, b);
+        ckpt::Reader r(path);
+        r.begin("ckpt.config");
+        std::string structural = r.str();
+        std::string canonical = r.str();
+        r.end();
+        if (structural != configStructuralKey(cfg))
+            fatal("checkpoint: ", path, " was saved on a structurally "
+                  "different machine; saved [", structural,
+                  "], this run builds [", configStructuralKey(cfg),
+                  "] — restore requires identical structural knobs");
+        if (canonical != configCanonicalKey(cfg))
+            warn("checkpoint: ", path, " was saved under different "
+                 "timing knobs; the restored run mixes the two regimes "
+                 "(expected for warmup-reuse bandwidth sweeps, wrong "
+                 "for byte-identity checks)");
+        r.begin("ckpt.meta");
+        std::string bench = r.str();
+        std::string scale = r.str();
+        uint32_t seed = r.u32();
+        r.end();
+        if (bench != benchName(b))
+            fatal("checkpoint: ", path, " holds a ", bench,
+                  " run, not ", benchName(b));
+        if (scale != canonicalDouble(w.scale) || seed != w.seed)
+            fatal("checkpoint: ", path, " was saved at workload scale=",
+                  scale, " seed=", seed, "; this run generates scale=",
+                  canonicalDouble(w.scale), " seed=", w.seed,
+                  " — the rebuilt workload would not match the "
+                  "serialized state");
+        accel.ckptRestore(r);
+        r.begin("host.state");
+        host.restore(r);
+        r.end();
+        if (!r.atEnd())
+            fatal("checkpoint: ", path,
+                  " has trailing data after the host.state section");
+    }
+    if (!ck.savePrefix.empty()) {
+        std::string path = checkpointPath(ck.savePrefix, b);
+        accel.scheduleCheckpointSave(
+            ck.saveCycle, [&accel, &cfg, b, &w, &host, path] {
+                ckpt::Writer wtr;
+                wtr.begin("ckpt.config");
+                wtr.str(configStructuralKey(cfg));
+                wtr.str(configCanonicalKey(cfg));
+                wtr.end();
+                wtr.begin("ckpt.meta");
+                wtr.str(benchName(b));
+                wtr.str(canonicalDouble(w.scale));
+                wtr.u32(w.seed);
+                wtr.end();
+                accel.ckptSave(wtr);
+                wtr.begin("host.state");
+                host.save(wtr);
+                wtr.end();
+                wtr.finish(path);
+            });
+    }
+}
+
+} // namespace
+
+AccelRun
+runAccelerator(Bench b, const Workloads &w, AccelConfig cfg, bool verify,
+               const CheckpointOptions &ck)
+{
+    if (ck.saveAuto && !ck.savePrefix.empty()) {
+        // auto:PREFIX — calibrate the save cycle against this run's
+        // own length: run cold (checkpoint-free, identical results by
+        // the no-perturb contract), then re-run saving at 3/4 of the
+        // measured drain cycle. The second run's results are returned,
+        // so a saving invocation still reports the same numbers as a
+        // plain one.
+        CheckpointOptions calib;
+        calib.restorePrefix = ck.restorePrefix;
+        AccelRun cold = runAccelerator(b, w, cfg, false, calib);
+        CheckpointOptions at = ck;
+        at.saveAuto = false;
+        at.saveCycle = std::max<uint64_t>(1, cold.rr.cycles / 4 * 3);
+        return runAccelerator(b, w, cfg, verify, at);
+    }
     setQuietLogging(true);
     AccelRun out;
     MemorySystem mem(cfg.mem);
@@ -283,6 +483,9 @@ runAccelerator(Bench b, const Workloads &w, AccelConfig cfg, bool verify)
                            ? buildSpecBfs(w.road, 0, mem)
                            : buildCoorBfs(w.road, 0, mem);
         Accelerator accel(app.spec, cfg, mem);
+        // All BFS state lives in the device image (mem.sys section).
+        HostState host;
+        wireCheckpoint(accel, cfg, b, w, ck, host);
         out.rr = accel.run();
         auto levels = readLevels(app.img, mem);
         if (verify && levels != bfsSequential(w.road, 0))
@@ -303,6 +506,9 @@ runAccelerator(Bench b, const Workloads &w, AccelConfig cfg, bool verify)
       case Bench::SpecSssp: {
         auto app = buildSpecSssp(w.road, 0, mem);
         Accelerator accel(app.spec, cfg, mem);
+        // All SSSP state lives in the device image (mem.sys section).
+        HostState host;
+        wireCheckpoint(accel, cfg, b, w, ck, host);
         out.rr = accel.run();
         if (verify &&
             readDistances(app.img, mem) != ssspSequential(w.road, 0))
@@ -328,6 +534,21 @@ runAccelerator(Bench b, const Workloads &w, AccelConfig cfg, bool verify)
       case Bench::SpecMst: {
         auto app = buildSpecMst(w.road, mem);
         Accelerator accel(app.spec, cfg, mem);
+        HostState host;
+        MstState *st = app.state.get();
+        host.save = [st](ckpt::Writer &wtr) {
+            wtr.vecPod(st->parent);
+            wtr.u64(st->nextTicket);
+            wtr.u64(st->result.totalWeight);
+            wtr.u64(st->result.edgesInTree);
+        };
+        host.restore = [st](ckpt::Reader &r) {
+            st->parent = r.vecPod<uint32_t>();
+            st->nextTicket = r.u64();
+            st->result.totalWeight = r.u64();
+            st->result.edgesInTree = r.u64();
+        };
+        wireCheckpoint(accel, cfg, b, w, ck, host);
         out.rr = accel.run();
         if (verify) {
             MstResult ref = mstSequential(w.road);
@@ -355,6 +576,42 @@ runAccelerator(Bench b, const Workloads &w, AccelConfig cfg, bool verify)
         Mesh mesh = randomDelaunayMesh(w.meshPoints, w.seed);
         auto app = buildSpecDmr(std::move(mesh), params, mem);
         Accelerator accel(app.spec, cfg, mem);
+        HostState host;
+        DmrState *st = app.state.get();
+        // Triangles are serialized field-wise: the struct has padding
+        // after its bool, and padding bytes in the file would make the
+        // byte-identity contract depend on uninitialized memory.
+        host.save = [st](ckpt::Writer &wtr) {
+            wtr.vecPod(st->mesh.points());
+            const auto &tris = st->mesh.triangles();
+            wtr.u64(tris.size());
+            for (const Triangle &t : tris) {
+                for (int k = 0; k < 3; ++k)
+                    wtr.u32(t.v[k]);
+                for (int k = 0; k < 3; ++k)
+                    wtr.u32(t.nbr[k]);
+                wtr.b(t.alive);
+            }
+            wtr.u64(st->applied);
+            saveProduced(wtr, st->produced);
+        };
+        host.restore = [st](ckpt::Reader &r) {
+            auto points = r.vecPod<Point>();
+            uint64_t n = r.u64();
+            std::vector<Triangle> tris(n);
+            for (Triangle &t : tris) {
+                for (int k = 0; k < 3; ++k)
+                    t.v[k] = r.u32();
+                for (int k = 0; k < 3; ++k)
+                    t.nbr[k] = r.u32();
+                t.alive = r.b();
+            }
+            st->mesh.restoreTopology(std::move(points),
+                                     std::move(tris));
+            st->applied = r.u64();
+            restoreProduced(r, st->produced);
+        };
+        wireCheckpoint(accel, cfg, b, w, ck, host);
         out.rr = accel.run();
         if (verify) {
             auto res = summarizeMesh(app.state->mesh, params,
@@ -380,6 +637,53 @@ runAccelerator(Bench b, const Workloads &w, AccelConfig cfg, bool verify)
         BlockSparseMatrix ref = a;
         auto app = buildCoorLu(std::move(a), mem);
         Accelerator accel(app.spec, cfg, mem);
+        HostState host;
+        LuState *st = app.state.get();
+        host.save = [st](ckpt::Writer &wtr) {
+            const BlockSparseMatrix &m = st->a;
+            wtr.u32(m.numBlockRows());
+            wtr.u32(m.blockSize());
+            auto coords = m.structure(); // row-major (sorted) order
+            wtr.u64(coords.size());
+            for (auto [i, j] : coords) {
+                wtr.u32(i);
+                wtr.u32(j);
+                wtr.vecPod(m.block(i, j).data());
+            }
+            wtr.vecPod(st->trsmLeft);
+            wtr.vecPod(st->gemmLeft);
+            wtr.u64(st->ops.factor);
+            wtr.u64(st->ops.trsm);
+            wtr.u64(st->ops.gemm);
+            saveProduced(wtr, st->produced);
+        };
+        host.restore = [st](ckpt::Reader &r) {
+            uint32_t n = r.u32();
+            uint32_t bsize = r.u32();
+            if (n != st->a.numBlockRows() ||
+                bsize != st->a.blockSize())
+                fatal("checkpoint: saved LU matrix is ", n, "x", n,
+                      " blocks of ", bsize, ", rebuilt matrix is ",
+                      st->a.numBlockRows(), "x", st->a.numBlockRows(),
+                      " blocks of ", st->a.blockSize());
+            // Fill-in blocks appear dynamically; rebuild the block set
+            // from scratch rather than patching the generator's.
+            BlockSparseMatrix fresh(n, bsize);
+            uint64_t count = r.u64();
+            for (uint64_t k = 0; k < count; ++k) {
+                uint32_t i = r.u32();
+                uint32_t j = r.u32();
+                fresh.block(i, j).data() = r.vecPod<double>();
+            }
+            st->a = std::move(fresh);
+            st->trsmLeft = r.vecPod<uint32_t>();
+            st->gemmLeft = r.vecPod<uint32_t>();
+            st->ops.factor = r.u64();
+            st->ops.trsm = r.u64();
+            st->ops.gemm = r.u64();
+            restoreProduced(r, st->produced);
+        };
+        wireCheckpoint(accel, cfg, b, w, ck, host);
         out.rr = accel.run();
         if (verify) {
             sparseLuSequential(ref);
@@ -422,11 +726,28 @@ runSweep(const std::vector<SweepJob> &jobs, const Workloads &w,
                 fatal("runSweep: jobs with trace hooks require "
                       "--threads 1");
     }
+    // Two jobs saving to the same checkpoint file would race (or, run
+    // serially, silently clobber each other); the caller must give
+    // each saving job a distinct (bench, prefix).
+    for (size_t i = 0; i < jobs.size(); ++i) {
+        if (jobs[i].ckpt.savePrefix.empty())
+            continue;
+        std::string pi = checkpointPath(jobs[i].ckpt.savePrefix,
+                                        jobs[i].bench);
+        for (size_t j = i + 1; j < jobs.size(); ++j) {
+            if (jobs[j].ckpt.savePrefix.empty())
+                continue;
+            if (pi == checkpointPath(jobs[j].ckpt.savePrefix,
+                                     jobs[j].bench))
+                fatal("runSweep: jobs ", i, " and ", j,
+                      " both save checkpoint ", pi);
+        }
+    }
     setQuietLogging(true);
     std::vector<AccelRun> results(jobs.size());
     parallelForEach(jobs.size(), threads, [&](size_t i) {
         results[i] = runAccelerator(jobs[i].bench, w, jobs[i].cfg,
-                                    jobs[i].verify);
+                                    jobs[i].verify, jobs[i].ckpt);
     });
     return results;
 }

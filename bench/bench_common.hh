@@ -29,10 +29,40 @@
 namespace apir {
 namespace bench {
 
+/**
+ * Checkpoint save/restore directives for one accelerator run
+ * (docs/checkpointing.md). Prefixes name files PREFIX.<BENCH>.ckpt so
+ * a bench that runs several benchmarks per invocation writes one file
+ * each. Empty prefixes disable the corresponding direction.
+ */
+struct CheckpointOptions
+{
+    uint64_t saveCycle = 0;    //!< cycle at which the save hook fires
+    /**
+     * --checkpoint-save auto:PREFIX — pick the save cycle per run
+     * instead of globally: runAccelerator first runs the simulation
+     * cold to learn its drain cycle, then re-runs it saving at 3/4 of
+     * that. Costs one extra run per save, but yields a warmup point
+     * proportional to each benchmark's own length — the property the
+     * fig10 warmup-amortization sweep needs, where a single global
+     * cycle is capped by the shortest benchmark.
+     */
+    bool saveAuto = false;
+    std::string savePrefix;    //!< --checkpoint-save CYCLE:PREFIX
+    std::string restorePrefix; //!< --checkpoint-restore PREFIX
+
+    bool
+    any() const
+    {
+        return !savePrefix.empty() || !restorePrefix.empty();
+    }
+};
+
 /** Command-line options common to all benches. */
 struct Options
 {
     double scale = 1.0;    //!< workload size multiplier
+    uint32_t seed = 42;    //!< --seed: workload generator seed
     std::string statsJson; //!< --stats-json: structured-results path
     unsigned threads = 0;  //!< --threads: sweep workers (0 = all cores)
     /**
@@ -62,6 +92,8 @@ struct Options
     std::vector<std::string> sets;
     /** The loaded scenario when --config/--set were given. */
     std::optional<Scenario> scenario;
+    /** --checkpoint-save / --checkpoint-restore directives. */
+    CheckpointOptions ckpt;
 };
 
 /**
@@ -92,6 +124,12 @@ struct Workloads
      * cache is built on.
      */
     uint32_t seed = 42;
+    /**
+     * The scale the generators were fed, recorded so checkpoint
+     * metadata can pin the exact (scale, seed) identity a restore must
+     * rebuild from.
+     */
+    double scale = 1.0;
 };
 
 Workloads makeWorkloads(double scale, uint32_t seed = 42);
@@ -128,10 +166,26 @@ std::optional<Bench> benchFromName(const std::string &name);
 /**
  * Build and run the accelerator for one benchmark on the standard
  * workload. `hostFed` selects the incremental host-injection mode the
- * paper uses for SPEC-DMR and COOR-LU.
+ * paper uses for SPEC-DMR and COOR-LU. When `ck` carries a restore
+ * prefix the machine is rebuilt from (bench, scale, seed, cfg), the
+ * serialized dynamic state is overlaid, and the run resumes from the
+ * saved cycle; when it carries a save prefix the full machine + host
+ * state is written to PREFIX.<BENCH>.ckpt at the scheduled cycle.
  */
 AccelRun runAccelerator(Bench b, const Workloads &w, AccelConfig cfg,
-                        bool verify = false);
+                        bool verify = false,
+                        const CheckpointOptions &ck = {});
+
+/** The checkpoint file a run of benchmark `b` reads or writes. */
+std::string checkpointPath(const std::string &prefix, Bench b);
+
+/**
+ * Fatal unless `opt` carries no checkpoint directives: benches that
+ * never forward opt.ckpt into runAccelerator call this right after
+ * parseOptions so --checkpoint-* is rejected instead of silently
+ * ignored (the same contract as unknown flags).
+ */
+void requireNoCheckpoint(const Options &opt, const char *bench);
 
 /** One independent simulation in a sweep. */
 struct SweepJob
@@ -139,6 +193,7 @@ struct SweepJob
     Bench bench = Bench::SpecBfs;
     AccelConfig cfg;
     bool verify = false;
+    CheckpointOptions ckpt;
 };
 
 /**
@@ -175,10 +230,14 @@ JsonValue runToJson(const AccelRun &run);
 /**
  * Write the standard stats document
  * {"bench": ..., "scale": ..., "runs": [...]} to opt.statsJson.
- * No-op when --stats-json was not given.
+ * No-op when --stats-json was not given. When `w` is given a
+ * "workload" object records the generated input sizes (road vertices
+ * and edges, mesh points, LU blocks, seed) so downstream tools can
+ * express budgets per unit of input instead of as fixed constants.
  */
 void maybeWriteStatsJson(const Options &opt, const std::string &bench,
-                         const JsonValue &runs);
+                         const JsonValue &runs,
+                         const Workloads *w = nullptr);
 
 } // namespace bench
 } // namespace apir

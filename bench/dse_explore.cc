@@ -57,6 +57,7 @@ int
 main(int argc, char **argv)
 {
     Options opt = parseOptions(argc, argv);
+    requireNoCheckpoint(opt, "dse_explore");
     // DSE multiplies simulator runs; use a quarter-scale workload.
     Workloads w = makeWorkloads(0.25 * opt.scale);
 
@@ -77,7 +78,7 @@ main(int argc, char **argv)
     // sweep; fan them out before the per-benchmark explorations.
     std::vector<SweepJob> baseJobs;
     for (Bench b : kAllBenches)
-        baseJobs.push_back({b, defaultAccelConfig(opt), false});
+        baseJobs.push_back({b, defaultAccelConfig(opt), false, {}});
     std::vector<AccelRun> defaults = runSweep(baseJobs, w, opt.threads);
 
     size_t next = 0;

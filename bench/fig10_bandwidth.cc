@@ -25,7 +25,7 @@ int
 main(int argc, char **argv)
 {
     Options opt = parseOptions(argc, argv);
-    Workloads w = makeWorkloads(opt.scale);
+    Workloads w = makeWorkloads(opt.scale, opt.seed);
     const double scales[] = {1.0, 2.0, 4.0, 8.0};
 
     std::printf("=== Figure 10: speedup (over x1 QPI) and pipeline "
@@ -43,7 +43,19 @@ main(int argc, char **argv)
         for (double s : scales) {
             AccelConfig cfg = baseCfg;
             cfg.mem.bandwidthScale *= s;
-            jobs.push_back({b, cfg, false});
+            // The warmup checkpoint is saved once per benchmark (on
+            // the x1 point) and restored by EVERY sweep point: the
+            // bandwidth scale is a timing-only knob, so the structural
+            // key matches and the warmed-up machine state amortizes
+            // across the whole sweep (docs/checkpointing.md).
+            CheckpointOptions ck;
+            ck.restorePrefix = opt.ckpt.restorePrefix;
+            if (s == 1.0) {
+                ck.saveCycle = opt.ckpt.saveCycle;
+                ck.saveAuto = opt.ckpt.saveAuto;
+                ck.savePrefix = opt.ckpt.savePrefix;
+            }
+            jobs.push_back({b, cfg, false, ck});
         }
     }
     std::vector<AccelRun> sweep = runSweep(jobs, w, opt.threads);
@@ -53,22 +65,32 @@ main(int argc, char **argv)
     for (Bench b : kAllBenches) {
         TextTable table({"qpi-bw", "GB/s", "sim(s)", "speedup",
                          "utilization", "squashed"});
-        double base_seconds = 0.0;
+        double base_meas = 0.0;
         for (double s : scales) {
             const AccelRun &run = sweep[next++];
+            // Speedup compares the measured region: the whole run on a
+            // cold sweep (startCycle 0), the post-restore region on a
+            // --checkpoint-restore sweep. Every restored point resumes
+            // from the identical warmed-up state and completes the
+            // identical remaining work, so the post-restore cycle
+            // counts are a controlled steady-state comparison — the
+            // warmup prefix, simulated once under x1 timing, never
+            // dilutes the per-bandwidth measurement.
+            double meas = static_cast<double>(run.rr.cycles -
+                                              run.rr.startCycle);
             if (s == 1.0)
-                base_seconds = run.seconds;
+                base_meas = meas;
             JsonValue j = runToJson(run);
             j.set("benchmark", JsonValue::str(benchName(b)));
             j.set("qpi_scale", JsonValue::number(s));
-            j.set("speedup", JsonValue::number(base_seconds /
-                                               run.seconds));
+            j.set("measured_cycles", JsonValue::number(meas));
+            j.set("speedup", JsonValue::number(base_meas / meas));
             runs.push(std::move(j));
             table.addRow(
                 {strprintf("x%.0f", s),
                  strprintf("%.1f", baseGBs * s),
                  strprintf("%.4f", run.seconds),
-                 strprintf("%.2fx", base_seconds / run.seconds),
+                 strprintf("%.2fx", base_meas / meas),
                  strprintf("%.3f", run.rr.utilization),
                  strprintf("%llu", static_cast<unsigned long long>(
                                        run.rr.squashed))});
@@ -82,6 +104,6 @@ main(int argc, char **argv)
                 "SPEC-BFS utilization\n"
                 "       scales while speedup saturates/degrades "
                 "(speculative flooding).\n");
-    maybeWriteStatsJson(opt, "fig10_bandwidth", runs);
+    maybeWriteStatsJson(opt, "fig10_bandwidth", runs, &w);
     return 0;
 }

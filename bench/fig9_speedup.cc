@@ -63,7 +63,7 @@ int
 main(int argc, char **argv)
 {
     Options opt = parseOptions(argc, argv);
-    Workloads w = makeWorkloads(opt.scale);
+    Workloads w = makeWorkloads(opt.scale, opt.seed);
 
     std::printf("=== Figure 9: speedup of synthesized accelerators over "
                 "software counterparts ===\n");
@@ -80,8 +80,10 @@ main(int argc, char **argv)
 
     double min_s1 = 1e30, max_s1 = 0.0, min_s10 = 1e30, max_s10 = 0.0;
     std::vector<SweepJob> jobs;
+    // One run per benchmark, so the checkpoint directives apply to
+    // every job: each writes/reads its own PREFIX.<BENCH>.ckpt.
     for (Bench b : kAllBenches)
-        jobs.push_back({b, defaultAccelConfig(opt), true});
+        jobs.push_back({b, defaultAccelConfig(opt), true, opt.ckpt});
     std::vector<AccelRun> sweep = runSweep(jobs, w, opt.threads);
 
     JsonValue runs = JsonValue::array();
@@ -118,6 +120,6 @@ main(int argc, char **argv)
                 min_s1, max_s1, min_s10, max_s10);
     std::printf("paper:    2.3x-5.9x over 1 core, 0.5x-1.9x over 10 "
                 "cores\n");
-    maybeWriteStatsJson(opt, "fig9_speedup", runs);
+    maybeWriteStatsJson(opt, "fig9_speedup", runs, &w);
     return 0;
 }

@@ -79,6 +79,7 @@ main(int argc, char **argv)
     }
     Options opt = parseOptions(static_cast<int>(shared.size()),
                                shared.data());
+    requireNoCheckpoint(opt, "micro_tick");
     if (selected.empty())
         selected.assign(std::begin(kAllBenches), std::end(kAllBenches));
 

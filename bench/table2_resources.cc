@@ -51,6 +51,7 @@ main(int argc, char **argv)
 {
     setQuietLogging(true);
     Options opt = parseOptions(argc, argv);
+    requireNoCheckpoint(opt, "table2_resources");
     Workloads w = makeWorkloads(opt.scale);
     DeviceLimits dev;
 

@@ -1,0 +1,219 @@
+/**
+ * @file
+ * Versioned, length-prefixed binary checkpoint format
+ * (docs/checkpointing.md). A checkpoint is the magic "APIRCKPT", a
+ * format version word, and a sequence of named sections, each
+ * `u32 nameLen | name | u64 payloadLen | payload`. Sections are
+ * written and read in a fixed order; every mismatch — wrong magic,
+ * version skew, unexpected section name, truncated payload, trailing
+ * bytes — is a located fatal naming the file and the offending
+ * section, so a stale or corrupt checkpoint can never silently
+ * produce a plausible-but-wrong simulation.
+ *
+ * Only dynamic state is serialized. Anything rebuilt deterministically
+ * from (app, scale, seed, config) — specs, lambdas, workload graphs,
+ * bucket geometry — is reconstructed by re-running the build path and
+ * then overlaying the serialized state on top (gem5-style restore).
+ */
+
+#ifndef APIR_CHECKPOINT_CKPT_HH
+#define APIR_CHECKPOINT_CKPT_HH
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "support/stats.hh"
+
+namespace apir {
+namespace ckpt {
+
+/** Current checkpoint format version. Bump on any layout change. */
+inline constexpr uint32_t kVersion = 1;
+
+/** Serializes state into an in-memory buffer, then writes the file. */
+class Writer
+{
+  public:
+    /** Open a named section; sections must not nest. */
+    void begin(const std::string &name);
+    /** Close the current section, patching its length prefix. */
+    void end();
+
+    void u8(uint8_t v) { raw(&v, 1); }
+    void u32(uint32_t v) { raw(&v, sizeof(v)); }
+    void u64(uint64_t v) { raw(&v, sizeof(v)); }
+    void f64(double v) { raw(&v, sizeof(v)); }
+    void b(bool v) { u8(v ? 1 : 0); }
+
+    void
+    str(const std::string &s)
+    {
+        u64(s.size());
+        raw(s.data(), s.size());
+    }
+
+    /** Bit-copy a trivially copyable value. */
+    template <typename T>
+    void
+    pod(const T &v)
+    {
+        static_assert(std::is_trivially_copyable_v<T>,
+                      "pod() requires a trivially copyable type");
+        raw(&v, sizeof(T));
+    }
+
+    /** Length-prefixed vector of trivially copyable elements. */
+    template <typename T>
+    void
+    vecPod(const std::vector<T> &v)
+    {
+        u64(v.size());
+        for (const T &e : v)
+            pod(e);
+    }
+
+    /** Write magic + version + all sections to `path` (fatal on I/O). */
+    void finish(const std::string &path) const;
+
+  private:
+    void raw(const void *p, size_t n);
+
+    std::vector<uint8_t> buf_;
+    size_t lenPatchAt_ = ~size_t(0); //!< offset of open section's length
+    std::string openSection_;
+};
+
+/** Loads a checkpoint file and replays its sections in order. */
+class Reader
+{
+  public:
+    /** Load + validate magic and version (located fatals). */
+    explicit Reader(const std::string &path);
+
+    /**
+     * Enter the next section, which must be named `name` — reading
+     * sections out of the order they were written is a fatal, as is
+     * hitting end-of-file.
+     */
+    void begin(const std::string &name);
+    /** Leave the section; leftover unread payload bytes are a fatal. */
+    void end();
+
+    uint8_t u8() { uint8_t v; raw(&v, 1); return v; }
+    uint32_t u32() { uint32_t v; raw(&v, sizeof(v)); return v; }
+    uint64_t u64() { uint64_t v; raw(&v, sizeof(v)); return v; }
+    double f64() { double v; raw(&v, sizeof(v)); return v; }
+    bool b() { return u8() != 0; }
+
+    std::string
+    str()
+    {
+        uint64_t n = u64();
+        checkAvail(n, "string payload");
+        std::string s(reinterpret_cast<const char *>(&buf_[pos_]),
+                      static_cast<size_t>(n));
+        pos_ += static_cast<size_t>(n);
+        return s;
+    }
+
+    template <typename T>
+    T
+    pod()
+    {
+        static_assert(std::is_trivially_copyable_v<T>,
+                      "pod() requires a trivially copyable type");
+        T v;
+        raw(&v, sizeof(T));
+        return v;
+    }
+
+    template <typename T>
+    std::vector<T>
+    vecPod()
+    {
+        uint64_t n = u64();
+        checkAvail(n * sizeof(T), "vector payload");
+        std::vector<T> v;
+        v.reserve(static_cast<size_t>(n));
+        for (uint64_t i = 0; i < n; ++i)
+            v.push_back(pod<T>());
+        return v;
+    }
+
+    /** True once every section has been fully consumed. */
+    bool atEnd() const { return pos_ == buf_.size(); }
+    const std::string &path() const { return path_; }
+
+  private:
+    void raw(void *p, size_t n);
+    void checkAvail(uint64_t n, const char *what) const;
+
+    std::string path_;
+    std::vector<uint8_t> buf_;
+    size_t pos_ = 0;
+    size_t sectionEnd_ = 0;
+    std::string openSection_;
+    bool inSection_ = false;
+};
+
+/* Stat-object helpers: exact bit-level round trips so restored stats
+ * print byte-identically. */
+
+inline void
+save(Writer &w, const Counter &c)
+{
+    w.u64(c.value());
+}
+
+inline void
+restore(Reader &r, Counter &c)
+{
+    c.restore(r.u64());
+}
+
+inline void
+save(Writer &w, const Average &a)
+{
+    w.f64(a.sum());
+    w.f64(a.rawMin());
+    w.f64(a.rawMax());
+    w.u64(a.count());
+}
+
+inline void
+restore(Reader &r, Average &a)
+{
+    double sum = r.f64();
+    double min = r.f64();
+    double max = r.f64();
+    a.restore(sum, min, max, r.u64());
+}
+
+inline void
+save(Writer &w, const Histogram &h)
+{
+    std::vector<uint64_t> counts(h.buckets());
+    for (size_t i = 0; i < h.buckets(); ++i)
+        counts[i] = h.bucket(i);
+    w.vecPod(counts);
+    w.u64(h.overflow());
+    w.u64(h.total());
+    w.f64(h.maxSeen());
+}
+
+inline void
+restore(Reader &r, Histogram &h)
+{
+    auto counts = r.vecPod<uint64_t>();
+    uint64_t overflow = r.u64();
+    uint64_t total = r.u64();
+    h.restore(std::move(counts), overflow, total, r.f64());
+}
+
+} // namespace ckpt
+} // namespace apir
+
+#endif // APIR_CHECKPOINT_CKPT_HH

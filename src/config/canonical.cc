@@ -6,6 +6,12 @@
 
 namespace apir {
 
+std::string
+canonicalDouble(double v)
+{
+    return strprintf("%.17g", v);
+}
+
 namespace {
 
 /**
@@ -16,7 +22,7 @@ namespace {
 std::string
 num(double v)
 {
-    return strprintf("%.17g", v);
+    return canonicalDouble(v);
 }
 
 } // namespace
@@ -52,7 +58,26 @@ configCanonicalKey(const AccelConfig &cfg)
        << "|cache.mshrs=" << cfg.mem.cache.mshrs
        << "|cache.prefetchNextLine=" << cfg.mem.cache.prefetchNextLine
        << "|qpi.bytesPerCycle=" << num(cfg.mem.qpi.bytesPerCycle)
-       << "|qpi.latency=" << cfg.mem.qpi.latency;
+       << "|qpi.latency=" << cfg.mem.qpi.latency
+       << "|sample.interval=" << cfg.sampleInterval
+       << "|sample.window=" << cfg.sampleWindow;
+    return os.str();
+}
+
+std::string
+configStructuralKey(const AccelConfig &cfg)
+{
+    std::ostringstream os;
+    os << "accel.pipelinesPerSet=" << cfg.pipelinesPerSet
+       << "|accel.ruleLanes=" << cfg.ruleLanes
+       << "|accel.queueBanks=" << cfg.queueBanks
+       << "|accel.queueBankCapacity=" << cfg.queueBankCapacity
+       << "|accel.lsuEntries=" << cfg.lsuEntries
+       << "|accel.fifoDepth=" << cfg.fifoDepth
+       << "|accel.rendezvousEntries=" << cfg.rendezvousEntries
+       << "|cache.sizeBytes=" << cfg.mem.cache.sizeBytes
+       << "|cache.lineBytes=" << cfg.mem.cache.lineBytes
+       << "|cache.mshrs=" << cfg.mem.cache.mshrs;
     return os.str();
 }
 

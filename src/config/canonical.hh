@@ -28,6 +28,25 @@ namespace apir {
  */
 std::string configCanonicalKey(const AccelConfig &cfg);
 
+/**
+ * Serialize only the *structural* knobs — the ones that determine the
+ * shape of the machine's state (stage/queue/lane/FIFO/MSHR counts and
+ * capacities). A checkpoint may only be restored into a machine with
+ * an identical structural key; the remaining, timing-only knobs
+ * (bandwidth scale, latencies, clock, fast-forward mode, liveness
+ * schedule, sampling geometry) may differ, which is exactly what the
+ * warmup-once-sweep-many fig10 workflow needs (a canonical-key
+ * mismatch on restore is a warning, not an error).
+ */
+std::string configStructuralKey(const AccelConfig &cfg);
+
+/**
+ * The repo-wide canonical spelling of a double (%.17g): exact
+ * round-trip, shared by the canonical key, the workload cache key and
+ * the JSON writer so equal values always collide.
+ */
+std::string canonicalDouble(double v);
+
 } // namespace apir
 
 #endif // APIR_CONFIG_CANONICAL_HH

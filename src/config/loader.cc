@@ -125,6 +125,12 @@ knobTable()
         bind("accel", "hostBatch", u32(&AccelConfig::hostBatch, 0)),
         bind("accel", "hostInterval",
              u64(&AccelConfig::hostInterval, 1)),
+        // --------------------------------------------------- sample
+        // Interval sampling (docs/checkpointing.md); 0 = disabled.
+        // window < interval is cross-checked by validateAccelConfig.
+        bind("sample", "interval",
+             u64(&AccelConfig::sampleInterval, 0)),
+        bind("sample", "window", u64(&AccelConfig::sampleWindow, 0)),
         // ----------------------------------------------------- spec
         // The squash-retry liveness subsystem (docs/liveness.md);
         // pinOldest-requires-liveness is cross-checked by

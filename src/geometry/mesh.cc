@@ -50,6 +50,18 @@ Mesh::addPoint(const Point &p)
     return static_cast<uint32_t>(points_.size() - 1);
 }
 
+void
+Mesh::restoreTopology(std::vector<Point> points,
+                      std::vector<Triangle> tris)
+{
+    points_ = std::move(points);
+    tris_ = std::move(tris);
+    numAlive_ = 0;
+    for (const Triangle &t : tris_)
+        if (t.alive)
+            ++numAlive_;
+}
+
 TriId
 Mesh::locate(const Point &p, TriId hint) const
 {

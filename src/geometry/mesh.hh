@@ -50,6 +50,15 @@ class Mesh
     /** Number of non-tombstoned triangles. */
     uint32_t numAliveTriangles() const { return numAlive_; }
 
+    /**
+     * Replace the whole triangulation with previously captured state
+     * (checkpoint restore). The alive count is recomputed; no
+     * geometric checks are performed — the caller is trusted to hand
+     * back exactly what points()/triangles() returned.
+     */
+    void restoreTopology(std::vector<Point> points,
+                         std::vector<Triangle> tris);
+
     /** Append a vertex (no triangulation update). */
     uint32_t addPoint(const Point &p);
 

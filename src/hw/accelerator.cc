@@ -1,6 +1,7 @@
 #include "hw/accelerator.hh"
 
 #include <algorithm>
+#include <cmath>
 
 #include "support/logging.hh"
 #include "support/str.hh"
@@ -197,9 +198,12 @@ RunResult
 Accelerator::run()
 {
     RunResult res;
-    uint64_t busy_stage_cycles = 0;
-    lastProgressCycle_ = 0;
-    uint64_t cycle = 0;
+    // cycle_ and busyStageCycles_ are members: 0 on a fresh machine,
+    // the saved position after ckptRestore (resume, don't rewind).
+    if (!restored_)
+        lastProgressCycle_ = 0;
+    uint64_t cycle = cycle_;
+    res.startCycle = cycle;
 
     // Precomputed tracer track names (no per-cycle allocation).
     std::vector<std::string> queue_tracks;
@@ -212,6 +216,13 @@ Accelerator::run()
     TickPerf &perf = res.tickPerf;
     for (;; ++cycle) {
         ++perf.ticks;
+        if (cycle == saveCycle_ && !saveDone_) {
+            // Top-of-cycle state: nothing of cycle `cycle` has
+            // happened yet, so the restored run replays it in full.
+            cycle_ = cycle;
+            saveDone_ = true;
+            saveHook_();
+        }
         size_t host_before = hostPos_;
         hostTick(cycle);
         if (cfg_.tracer && cfg_.tracer->active(cycle)) {
@@ -223,15 +234,22 @@ Accelerator::run()
         bool any_busy = false;
         bool any_moved = false;
         perf.stageVisits += stages_.size();
+        uint64_t busy_this_tick = 0;
         for (auto &stage : stages_) {
             stage->tick(cycle);
             if (stage->wasBusy()) {
-                ++busy_stage_cycles;
+                ++busy_this_tick;
                 any_busy = true;
             }
             if (stage->movedToken())
                 any_moved = true;
         }
+        busyStageCycles_ += busy_this_tick;
+        // Interval sampling: busy stages only show up at executed
+        // ticks (skipped stretches are no-progress by construction),
+        // so accumulating here covers every busy cycle in a window.
+        if (busy_this_tick && inSampleWindow(cycle))
+            sampledBusyCycles_ += busy_this_tick;
         if (any_busy)
             lastProgressCycle_ = cycle;
         // Anything that acted this tick can have rescheduled any
@@ -290,6 +308,13 @@ Accelerator::run()
                 perf.wakeRecomputes += stages_.size() + queues_.size();
                 wake = nextWakeCycle(cycle);
             }
+            // An armed checkpoint bounds the skip so the save hook
+            // fires exactly at its cycle. Landing early on a
+            // no-progress stretch charges identical statistics (the
+            // fast-forward byte-identity contract), so the restored
+            // and uninterrupted runs still match bit for bit.
+            if (!saveDone_ && saveCycle_ > cycle)
+                wake = std::min(wake, saveCycle_);
             if (wake > cycle + 1) {
                 ++perf.ffSkips;
                 uint64_t skipped = wake - 1 - cycle;
@@ -315,12 +340,20 @@ Accelerator::run()
     perf.arenaAllocs = arena_.allocations();
     perf.arenaBytes = arena_.allocatedBytes();
 
+    if (saveCycle_ != ~0ull && !saveDone_) {
+        fatal("checkpoint: accelerator '", spec_.name,
+              "' drained at cycle ", cycle,
+              " before the scheduled save cycle ", saveCycle_,
+              " — pick a save cycle inside the run");
+    }
+
+    cycle_ = cycle;
     res.cycles = cycle + 1;
     res.seconds = static_cast<double>(res.cycles) / cfg_.clockHz;
     res.utilization =
         stages_.empty()
             ? 0.0
-            : static_cast<double>(busy_stage_cycles) /
+            : static_cast<double>(busyStageCycles_) /
                   (static_cast<double>(stages_.size()) * res.cycles);
 
     for (auto &q : queues_) {
@@ -355,7 +388,185 @@ Accelerator::run()
     sum.set("squashed", static_cast<double>(res.squashed));
     sum.set("fallback_fires", static_cast<double>(res.fallbackFires));
     res.groups.push_back(std::move(sum));
+
+    // Interval-sampling estimate vs. the exact value. Emitted only
+    // when sampling is enabled so the default stats-json is unchanged.
+    if (cfg_.sampleInterval > 0) {
+        uint64_t measured = measuredCyclesUpTo(res.cycles);
+        double sampled_util =
+            stages_.empty() || measured == 0
+                ? 0.0
+                : static_cast<double>(sampledBusyCycles_) /
+                      (static_cast<double>(stages_.size()) * measured);
+        StatGroup sg("sampling");
+        sg.set("interval", static_cast<double>(cfg_.sampleInterval));
+        sg.set("window", static_cast<double>(cfg_.sampleWindow));
+        sg.set("measured_cycles", static_cast<double>(measured));
+        sg.set("sampled_busy_stage_cycles",
+               static_cast<double>(sampledBusyCycles_));
+        sg.set("sampled_utilization", sampled_util);
+        sg.set("exact_utilization", res.utilization);
+        sg.set("utilization_rel_error",
+               res.utilization > 0.0
+                   ? std::abs(sampled_util - res.utilization) /
+                         res.utilization
+                   : 0.0);
+        res.groups.push_back(std::move(sg));
+    }
     return res;
+}
+
+uint64_t
+Accelerator::measuredCyclesUpTo(uint64_t c) const
+{
+    // Count of cycles x in [0, c) with x % interval < window: full
+    // periods contribute `window` each, the tail its clipped prefix.
+    // Arithmetic (not accumulated at tick time) so fast-forwarded
+    // stretches are counted in the denominator exactly like executed
+    // ones.
+    uint64_t i = cfg_.sampleInterval, w = cfg_.sampleWindow;
+    return (c / i) * w + std::min(c % i, w);
+}
+
+void
+Accelerator::scheduleCheckpointSave(uint64_t cycle,
+                                    std::function<void()> hook)
+{
+    APIR_ASSERT(hook, "checkpoint save without a hook");
+    saveCycle_ = cycle;
+    saveHook_ = std::move(hook);
+    saveDone_ = false;
+}
+
+void
+Accelerator::ckptSave(ckpt::Writer &w) const
+{
+    w.begin("accel.core");
+    w.u64(cycle_);
+    w.u64(busyStageCycles_);
+    w.u64(serial_);
+    w.u64(hostPos_);
+    w.u64(lastProgressCycle_);
+    w.u64(sampledBusyCycles_);
+    w.end();
+
+    w.begin("accel.tracker");
+    tracker_.ckptSave(w);
+    w.end();
+
+    w.begin("accel.liveness");
+    liveness_->ckptSave(w);
+    w.end();
+
+    w.begin("accel.engines");
+    w.u64(engines_.size());
+    for (const auto &e : engines_)
+        e->ckptSave(w);
+    w.end();
+
+    w.begin("accel.queues");
+    w.u64(queues_.size());
+    for (const auto &q : queues_)
+        q->ckptSave(w);
+    w.end();
+
+    w.begin("accel.fifos");
+    w.u64(fifos_.size());
+    for (const auto &f : fifos_)
+        f->ckptSave(w);
+    w.end();
+
+    w.begin("accel.rdv");
+    w.u64(rdvGroups_.size());
+    for (const auto &g : rdvGroups_)
+        g->ckptSave(w);
+    w.end();
+
+    w.begin("accel.stages");
+    w.u64(stages_.size());
+    for (const auto &s : stages_)
+        s->ckptSave(w);
+    w.end();
+
+    w.begin("mem.sys");
+    mem_.ckptSave(w);
+    w.end();
+}
+
+void
+Accelerator::ckptRestore(ckpt::Reader &r)
+{
+    if (cfg_.trace || cfg_.tracer) {
+        fatal("checkpoint: cannot restore '", r.path(),
+              "' with trace hooks attached — trace events before the "
+              "checkpoint cannot be replayed, so the restored trace "
+              "would silently omit them; run the tracer on an "
+              "uninterrupted run instead");
+    }
+
+    r.begin("accel.core");
+    cycle_ = r.u64();
+    busyStageCycles_ = r.u64();
+    serial_ = r.u64();
+    hostPos_ = r.u64();
+    lastProgressCycle_ = r.u64();
+    sampledBusyCycles_ = r.u64();
+    r.end();
+
+    r.begin("accel.tracker");
+    tracker_.ckptRestore(r);
+    r.end();
+
+    // Field-direct restore: LivenessUnit::refreshOwner() would call
+    // mem_.unpinAll() and wipe the pinned lines restored below.
+    r.begin("accel.liveness");
+    liveness_->ckptRestore(r);
+    r.end();
+
+    auto checkCount = [&r](uint64_t saved, size_t built,
+                           const char *what) {
+        if (saved != built) {
+            fatal("checkpoint: '", r.path(), "' has ", saved, " ",
+                  what, ", this machine has ", built,
+                  " — restore requires the same structural config");
+        }
+    };
+
+    r.begin("accel.engines");
+    checkCount(r.u64(), engines_.size(), "rule engines");
+    for (auto &e : engines_)
+        e->ckptRestore(r);
+    r.end();
+
+    r.begin("accel.queues");
+    checkCount(r.u64(), queues_.size(), "task queues");
+    for (auto &q : queues_)
+        q->ckptRestore(r);
+    r.end();
+
+    r.begin("accel.fifos");
+    checkCount(r.u64(), fifos_.size(), "pipeline FIFOs");
+    for (auto &f : fifos_)
+        f->ckptRestore(r);
+    r.end();
+
+    r.begin("accel.rdv");
+    checkCount(r.u64(), rdvGroups_.size(), "rendezvous groups");
+    for (auto &g : rdvGroups_)
+        g->ckptRestore(r);
+    r.end();
+
+    r.begin("accel.stages");
+    checkCount(r.u64(), stages_.size(), "stages");
+    for (auto &s : stages_)
+        s->ckptRestore(r);
+    r.end();
+
+    r.begin("mem.sys");
+    mem_.ckptRestore(r);
+    r.end();
+
+    restored_ = true;
 }
 
 } // namespace apir

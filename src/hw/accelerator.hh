@@ -11,10 +11,12 @@
 #ifndef APIR_HW_ACCELERATOR_HH
 #define APIR_HW_ACCELERATOR_HH
 
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "checkpoint/ckpt.hh"
 #include "compile/accel_spec.hh"
 #include "hw/config.hh"
 #include "hw/rendezvous_group.hh"
@@ -49,6 +51,14 @@ struct TickPerf
 struct RunResult
 {
     uint64_t cycles = 0;
+    /**
+     * Cycle the run began at: 0 on a fresh machine, the saved cycle
+     * after a checkpoint restore. `cycles - startCycle` is the
+     * post-restore region — the part actually simulated under this
+     * run's timing knobs, which is what warmup-reuse sweeps (fig10)
+     * compare across points.
+     */
+    uint64_t startCycle = 0;
     double seconds = 0.0;      //!< cycles / clockHz
     double utilization = 0.0;  //!< avg active primitive ops / total ops
     uint64_t tasksExecuted = 0;  //!< queue pops
@@ -84,6 +94,38 @@ class Accelerator
      * at construction. RunResult::groups is a snapshot of it.
      */
     const StatRegistry &stats() const { return registry_; }
+
+    /**
+     * Arm a checkpoint save: at the top of simulated cycle `cycle` —
+     * before the host tick and every stage tick of that cycle — `hook`
+     * runs once. The hook (installed by the harness) owns the file:
+     * it writes the config/meta header sections, calls ckptSave(), and
+     * appends the application's host-side state. The fast-forward jump
+     * is bounded by the save cycle so the hook always fires exactly
+     * there; by the idle-skip byte-identity contract the extra
+     * landing changes no statistics. A run that drains or dies before
+     * reaching `cycle` is a fatal — a silently skipped save would be
+     * mistaken for a complete one.
+     */
+    void scheduleCheckpointSave(uint64_t cycle,
+                                std::function<void()> hook);
+
+    /**
+     * Serialize every machine-state section: core loop state, live
+     * keys, liveness, rule engines, task queues, pipeline FIFOs,
+     * rendezvous groups, stages, and the memory system. The wake
+     * calendar is a pure cache (reset at run() start) and the arena is
+     * an allocator — neither carries simulated state.
+     */
+    void ckptSave(ckpt::Writer &w) const;
+
+    /**
+     * Overlay the machine-state sections of a checkpoint onto this
+     * freshly built accelerator; the next run() resumes at the saved
+     * cycle. Trace hooks are rejected: events before the checkpoint
+     * cannot be replayed, so a restored trace would silently lie.
+     */
+    void ckptRestore(ckpt::Reader &r);
 
   private:
     void buildPipelines();
@@ -140,6 +182,28 @@ class Accelerator
     size_t hostPos_ = 0;
     uint64_t lastProgressCycle_ = 0;
     uint64_t deadlockThreshold_ = 0; //!< resolved cfg.deadlockCycles
+    /**
+     * Tick-loop state, promoted from run() locals so a checkpoint can
+     * capture mid-run and a restored run() can resume where the saved
+     * one stopped.
+     */
+    uint64_t cycle_ = 0;
+    uint64_t busyStageCycles_ = 0;
+    bool restored_ = false; //!< run() resumes at cycle_ instead of 0
+    /** Busy-stage cycles observed inside measured sampling windows. */
+    uint64_t sampledBusyCycles_ = 0;
+    uint64_t saveCycle_ = ~0ull; //!< armed checkpoint-save cycle
+    std::function<void()> saveHook_;
+    bool saveDone_ = false;
+    /** Cycles in [0, c) inside measured windows (pure arithmetic). */
+    uint64_t measuredCyclesUpTo(uint64_t c) const;
+    /** Is executed cycle `c` inside a measured sampling window? */
+    bool
+    inSampleWindow(uint64_t c) const
+    {
+        return cfg_.sampleInterval > 0 &&
+               c % cfg_.sampleInterval < cfg_.sampleWindow;
+    }
     StatRegistry registry_;
 };
 

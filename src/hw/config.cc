@@ -38,6 +38,12 @@ validateAccelConfig(const AccelConfig &cfg)
             "spec.backoffBase must be >= 1 (a zero base would erase "
             "the exponential backoff schedule; disable the liveness "
             "subsystem with spec.liveness = false instead)");
+    require(cfg.sampleInterval == 0 ||
+                (cfg.sampleWindow >= 1 &&
+                 cfg.sampleWindow < cfg.sampleInterval),
+            "sample.interval > 0 requires 1 <= sample.window < "
+            "sample.interval (a window covering the whole interval "
+            "is not sampling, and an empty window measures nothing)");
     require(!cfg.specPinOldest || cfg.specLiveness,
             "spec.pinOldest requires spec.liveness (the pinning "
             "protocol rides the squash-retry tracking of the "

@@ -112,6 +112,21 @@ struct AccelConfig
     uint64_t hostInterval = 256;
 
     /**
+     * Interval sampling (docs/checkpointing.md): when
+     * sampleInterval > 0, the run additionally estimates utilization
+     * from measured windows — the first sampleWindow cycles of every
+     * sampleInterval-cycle period — and reports the sampled estimate
+     * next to the exact value (plus their relative error) in a
+     * "sampling" stat group. The simulation itself is unchanged and
+     * every other statistic stays byte-identical; the error column is
+     * the methodology check for choosing window geometry at scales
+     * where only sampled runs are affordable. Config-file spelling:
+     * sample.interval / sample.window.
+     */
+    uint64_t sampleInterval = 0;
+    uint64_t sampleWindow = 0;
+
+    /**
      * Cycle trace: when non-null, every stage firing in
      * [traceFrom, traceTo) appends a "<cycle> <pipeline>/<stage>"
      * line — a lightweight waveform for debugging schedules (the

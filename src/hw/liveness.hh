@@ -145,6 +145,15 @@ class LivenessUnit
     void registerStats(StatRegistry &reg,
                        const std::string &component) const;
 
+    /** Serialize retry/owner/counter state (docs/checkpointing.md). */
+    void ckptSave(ckpt::Writer &w) const;
+    /**
+     * Overwrite the dynamic state from a checkpoint. Sets fields
+     * directly — deliberately NOT via refreshOwner(), whose
+     * mem_.unpinAll() side effect would wipe the restored pin set.
+     */
+    void ckptRestore(ckpt::Reader &r);
+
   private:
     void refreshOwner();
 

@@ -46,6 +46,11 @@ class RendezvousGroup
         return !waiting_.empty() && !(*waiting_.begin() < k);
     }
 
+    /** Serialize the waiting-key multiset (docs/checkpointing.md). */
+    void ckptSave(ckpt::Writer &w) const { ckptSaveKeySet(w, waiting_); }
+    /** Overwrite the multiset from a checkpoint. */
+    void ckptRestore(ckpt::Reader &r) { ckptRestoreKeySet(r, waiting_); }
+
   private:
     ArenaRef arenaRef_; //!< declared before waiting_ (allocator source)
     HwOrderKeySet waiting_;

@@ -113,7 +113,19 @@ class Stage
     void setTraceLabel(std::string label) { traceLabel_ = std::move(label); }
     const std::string &traceLabel() const { return traceLabel_; }
 
+    /**
+     * Serialize base accounting plus kind-specific internal buffers
+     * (docs/checkpointing.md). Bound FIFOs are owned and serialized
+     * by the accelerator, not here.
+     */
+    void ckptSave(ckpt::Writer &w) const;
+    /** Overwrite the stage's dynamic state from a checkpoint. */
+    void ckptRestore(ckpt::Reader &r);
+
   protected:
+    /** Kind-specific state on top of the base accounting. */
+    virtual void ckptSaveExtra(ckpt::Writer &) const {}
+    virtual void ckptRestoreExtra(ckpt::Reader &) {}
     /** Kind-specific behaviour; sets fired_/hasWork_/movedToken_. */
     virtual void doTick(uint64_t cycle) = 0;
 
@@ -213,6 +225,8 @@ class ExpandStage : public Stage
 
   protected:
     void doTick(uint64_t cycle) override;
+    void ckptSaveExtra(ckpt::Writer &w) const override;
+    void ckptRestoreExtra(ckpt::Reader &r) override;
 
   private:
     bool active_ = false;
@@ -235,6 +249,8 @@ class MemStage : public Stage
   protected:
     void doTick(uint64_t cycle) override;
     void chargeSkippedRetries(uint64_t cycles) override;
+    void ckptSaveExtra(ckpt::Writer &w) const override;
+    void ckptRestoreExtra(ckpt::Reader &r) override;
 
   private:
     struct Entry
@@ -269,6 +285,8 @@ class AllocRuleStage : public Stage
   protected:
     void doTick(uint64_t cycle) override;
     void chargeSkippedRetries(uint64_t cycles) override;
+    void ckptSaveExtra(ckpt::Writer &w) const override;
+    void ckptRestoreExtra(ckpt::Reader &r) override;
 
   private:
     bool allocFailed_ = false; //!< last tick found no free lane
@@ -295,6 +313,8 @@ class RendezvousStage : public Stage
 
   protected:
     void doTick(uint64_t cycle) override;
+    void ckptSaveExtra(ckpt::Writer &w) const override;
+    void ckptRestoreExtra(ckpt::Reader &r) override;
 
   private:
     std::vector<Token> entries_;

@@ -91,6 +91,15 @@ class TaskQueueUnit
     void registerStats(StatRegistry &reg,
                        const std::string &component) const;
 
+    /**
+     * Serialize banks, heap maps and counters
+     * (docs/checkpointing.md). The promotion heap is not saved: it is
+     * a lazy-deletion cache over parked_ and is rebuilt on restore.
+     */
+    void ckptSave(ckpt::Writer &w) const;
+    /** Overwrite the queue's dynamic state from a checkpoint. */
+    void ckptRestore(ckpt::Reader &r);
+
   private:
     /** Priority-mode storage entry. */
     struct HeapItem

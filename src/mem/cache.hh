@@ -22,6 +22,7 @@
 #include <string>
 #include <vector>
 
+#include "checkpoint/ckpt.hh"
 #include "mem/qpi.hh"
 #include "support/stats.hh"
 #include "support/wake.hh"
@@ -113,6 +114,14 @@ class Cache
     /** Register this cache's statistics under `component`. */
     void registerStats(StatRegistry &reg,
                        const std::string &component) const;
+
+    /**
+     * Serialize lines, in-flight MSHRs, the reserve pin slot and all
+     * counters (docs/checkpointing.md).
+     */
+    void ckptSave(ckpt::Writer &w) const;
+    /** Overwrite the cache's dynamic state from a checkpoint. */
+    void ckptRestore(ckpt::Reader &r);
 
   private:
     struct Line

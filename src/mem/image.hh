@@ -16,6 +16,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "checkpoint/ckpt.hh"
 #include "core/task.hh"
 
 namespace apir {
@@ -63,6 +64,15 @@ class MemoryImage
 
     /** Highest allocated byte address (exclusive). */
     uint64_t brk() const { return brk_; }
+
+    /**
+     * Serialize the allocator brk and every mapped page, sorted by
+     * page number so the byte stream is independent of the unordered
+     * map's iteration order (docs/checkpointing.md).
+     */
+    void ckptSave(ckpt::Writer &w) const;
+    /** Overwrite the image's contents from a checkpoint. */
+    void ckptRestore(ckpt::Reader &r);
 
   private:
     static constexpr uint64_t kPageWords = 4096;

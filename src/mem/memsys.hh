@@ -116,6 +116,31 @@ class MemorySystem
     /** Forward QPI busy intervals to `tracer` (may be null). */
     void attachTracer(ChromeTracer *tracer);
 
+    /**
+     * Serialize the whole memory system: image, cache, QPI link and
+     * the access counters (docs/checkpointing.md).
+     */
+    void
+    ckptSave(ckpt::Writer &w) const
+    {
+        ckpt::save(w, reads_);
+        ckpt::save(w, writes_);
+        cache_->ckptSave(w);
+        qpi_->ckptSave(w);
+        image_.ckptSave(w);
+    }
+
+    /** Overwrite the memory system's dynamic state from a checkpoint. */
+    void
+    ckptRestore(ckpt::Reader &r)
+    {
+        ckpt::restore(r, reads_);
+        ckpt::restore(r, writes_);
+        cache_->ckptRestore(r);
+        qpi_->ckptRestore(r);
+        image_.ckptRestore(r);
+    }
+
   private:
     MemConfig cfg_;
     MemoryImage image_;

@@ -20,6 +20,7 @@
 #include <cstdint>
 #include <string>
 
+#include "checkpoint/ckpt.hh"
 #include "support/stats.hh"
 
 namespace apir {
@@ -79,6 +80,26 @@ class QpiChannel
 
     /** Emit busy intervals to `tracer` (not owned; may be null). */
     void attachTracer(ChromeTracer *tracer) { tracer_ = tracer; }
+
+    /** Serialize link occupancy and counters (docs/checkpointing.md). */
+    void
+    ckptSave(ckpt::Writer &w) const
+    {
+        w.f64(nextFree_);
+        w.f64(busyCycles_);
+        ckpt::save(w, bytesMoved_);
+        ckpt::save(w, transfers_);
+    }
+
+    /** Overwrite the link's dynamic state from a checkpoint. */
+    void
+    ckptRestore(ckpt::Reader &r)
+    {
+        nextFree_ = r.f64();
+        busyCycles_ = r.f64();
+        ckpt::restore(r, bytesMoved_);
+        ckpt::restore(r, transfers_);
+    }
 
   private:
     QpiConfig cfg_;

@@ -137,6 +137,34 @@ parseRequest(const std::string &line)
                 reject("'bandwidth_scale' must be positive");
         } else if (key == "verify") {
             req.sim.verify = boolField(val, "verify");
+        } else if (key == "checkpoint_save") {
+            const std::string &s = stringField(val, "checkpoint_save");
+            size_t colon = s.find(':');
+            if (colon == std::string::npos || colon == 0 ||
+                colon + 1 >= s.size())
+                reject("'checkpoint_save' must be \"<cycle>:<prefix>\" "
+                       "or \"auto:<prefix>\" (got \"" + s + "\")");
+            const std::string cyc = s.substr(0, colon);
+            if (cyc == "auto") {
+                req.sim.checkpointSaveAuto = true;
+            } else {
+                uint64_t cycle = 0;
+                for (char c : cyc) {
+                    if (c < '0' || c > '9')
+                        reject("'checkpoint_save' cycle must be an "
+                               "unsigned integer or \"auto\" (got \"" +
+                               cyc + "\")");
+                    cycle = cycle * 10 + static_cast<uint64_t>(c - '0');
+                }
+                req.sim.checkpointSaveCycle = cycle;
+            }
+            req.sim.checkpointSavePrefix = s.substr(colon + 1);
+        } else if (key == "checkpoint_restore") {
+            req.sim.checkpointRestorePrefix =
+                stringField(val, "checkpoint_restore");
+            if (req.sim.checkpointRestorePrefix.empty())
+                reject("'checkpoint_restore' must be a non-empty "
+                       "prefix");
         } else {
             // Same philosophy as parseOptions: a typoed knob must
             // not silently simulate something else.
@@ -177,6 +205,16 @@ serializeRequest(const SimRequest &req)
         doc.set("bandwidth_scale", JsonValue::number(req.bandwidthScale));
     if (req.verify)
         doc.set("verify", JsonValue::boolean(true));
+    if (!req.checkpointSavePrefix.empty())
+        doc.set("checkpoint_save",
+                JsonValue::str((req.checkpointSaveAuto
+                                    ? std::string("auto")
+                                    : std::to_string(
+                                          req.checkpointSaveCycle)) +
+                               ":" + req.checkpointSavePrefix));
+    if (!req.checkpointRestorePrefix.empty())
+        doc.set("checkpoint_restore",
+                JsonValue::str(req.checkpointRestorePrefix));
     return doc.dump();
 }
 

@@ -62,6 +62,27 @@ struct SimRequest
     bool fastForward = true;       //!< false = --no-fast-forward
     double bandwidthScale = 1.0;   //!< multiplies the base config's
     bool verify = false;           //!< check against sequential ref
+    /**
+     * "checkpoint_save": "<cycle>:<prefix>" writes the machine state
+     * to <prefix>.<app>.ckpt at the given cycle (server-side path);
+     * "auto" in place of the cycle calibrates the save point to 3/4
+     * of the run's own length (at the cost of an extra cold run).
+     * "checkpoint_restore": "<prefix>" resumes from such a file.
+     * Requests carrying either bypass the result store: a save has
+     * file-writing side effects, and a restore's result depends on
+     * file contents the key cannot see (docs/checkpointing.md).
+     */
+    uint64_t checkpointSaveCycle = 0;
+    bool checkpointSaveAuto = false;
+    std::string checkpointSavePrefix;
+    std::string checkpointRestorePrefix;
+
+    bool
+    hasCheckpoint() const
+    {
+        return !checkpointSavePrefix.empty() ||
+               !checkpointRestorePrefix.empty();
+    }
 };
 
 /** A parsed request line. */

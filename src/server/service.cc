@@ -50,10 +50,20 @@ SimService::requestKey(const SimRequest &req) const
     // of scenario file and individual overrides got them there — must
     // land on the same key, so the machine half is the canonicalized
     // knob tuple of the *resolved* config, not the request text.
-    return strprintf("app=%s|scale=%.17g|seed=%u|verify=%d|",
-                     req.app.c_str(), req.scale, req.seed,
+    return "app=" + req.app + "|scale=" + canonicalDouble(req.scale) +
+           strprintf("|seed=%u|verify=%d|", req.seed,
                      req.verify ? 1 : 0) +
            configCanonicalKey(configFor(req));
+}
+
+std::string
+SimService::workloadKey(double scale, uint32_t seed)
+{
+    // One spelling rule for doubles across both caches and the
+    // canonical key (canonicalDouble): keys collide iff the values
+    // are bit-equal, however the request spelled them.
+    return "scale=" + canonicalDouble(scale) +
+           strprintf("|seed=%u", seed);
 }
 
 std::string
@@ -86,25 +96,25 @@ SimService::compute(const SimRequest &req)
                       req.scale, maxScale_));
 
     AccelConfig cfg = configFor(req);
-    std::string key = strprintf("app=%s|scale=%.17g|seed=%u|verify=%d|",
-                                req.app.c_str(), req.scale, req.seed,
-                                req.verify ? 1 : 0) +
-                      configCanonicalKey(cfg);
 
-    return results_.getOrCompute(key, [&]() -> std::string {
+    auto simulate = [&]() -> std::string {
         // The workload bundle is app-independent (bench_common
         // generates every figure's inputs from one (scale, seed)
         // pair), so six apps at one scale share a single generation.
-        std::string wkey =
-            strprintf("scale=%.17g|seed=%u", req.scale, req.seed);
         std::shared_ptr<const bench::Workloads> w =
-            workloads_.getOrCompute(wkey, [&] {
-                return std::make_shared<const bench::Workloads>(
-                    bench::makeWorkloads(req.scale, req.seed));
-            });
+            workloads_.getOrCompute(
+                workloadKey(req.scale, req.seed), [&] {
+                    return std::make_shared<const bench::Workloads>(
+                        bench::makeWorkloads(req.scale, req.seed));
+                });
 
+        bench::CheckpointOptions ck;
+        ck.saveCycle = req.checkpointSaveCycle;
+        ck.saveAuto = req.checkpointSaveAuto;
+        ck.savePrefix = req.checkpointSavePrefix;
+        ck.restorePrefix = req.checkpointRestorePrefix;
         bench::AccelRun run =
-            bench::runAccelerator(*b, *w, cfg, req.verify);
+            bench::runAccelerator(*b, *w, cfg, req.verify, ck);
 
         JsonValue rj = bench::runToJson(run);
         rj.set("benchmark", JsonValue::str(req.app));
@@ -117,7 +127,15 @@ SimService::compute(const SimRequest &req)
         // Cached as the serialized line: a replayed response is the
         // same bytes as the freshly computed one, by construction.
         return doc.dump();
-    });
+    };
+
+    // Checkpoint requests bypass the result store: a save must write
+    // its file every time it is asked to (a cache hit would skip the
+    // side effect), and a restore's payload depends on checkpoint
+    // file bytes the request key cannot see.
+    if (req.hasCheckpoint())
+        return simulate();
+    return results_.getOrCompute(requestKey(req), simulate);
 }
 
 CacheStats

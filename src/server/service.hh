@@ -74,6 +74,15 @@ class SimService
      */
     std::string requestKey(const SimRequest &req) const;
 
+    /**
+     * The workload-cache identity of a (scale, seed) pair, spelled
+     * with the same canonicalDouble the result key uses so "scale": 1
+     * and "scale": 1.0 — or any two bit-equal doubles — share one
+     * generated workload bundle. Exposed for tests, mirroring
+     * requestKey.
+     */
+    static std::string workloadKey(double scale, uint32_t seed);
+
     CacheStats cacheStats() const;
 
   private:

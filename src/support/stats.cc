@@ -18,13 +18,24 @@ Histogram::quantile(double q) const
     rank = std::max<uint64_t>(rank, 1);
     uint64_t seen = 0;
     for (size_t i = 0; i < counts_.size(); ++i) {
+        if (seen + counts_[i] >= rank) {
+            // Interpolate within the bucket: treat its samples as
+            // uniformly spread over [i*width, (i+1)*width), then clamp
+            // to the observed maximum so the estimate never exceeds a
+            // value actually recorded (a lone 0.1 sample in a width-1
+            // bucket reports 0.1, not 1.0).
+            double frac = static_cast<double>(rank - seen) /
+                          static_cast<double>(counts_[i]);
+            double v = width_ * (static_cast<double>(i) + frac);
+            return std::min(v, maxSeen_);
+        }
         seen += counts_[i];
-        if (seen >= rank)
-            return width_ * static_cast<double>(i + 1);
     }
-    // The rank lands among the overflow samples: report the range
-    // ceiling rather than pretending we know their magnitude.
-    return width_ * static_cast<double>(counts_.size());
+    // The rank lands among the overflow samples. Their individual
+    // magnitudes are gone, but the observed maximum is a real sample
+    // at or beyond every one of them — report it instead of the range
+    // ceiling, which would understate the tail.
+    return maxSeen_;
 }
 
 void

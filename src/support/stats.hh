@@ -25,6 +25,8 @@ class Counter
     void operator++(int) { ++value_; }
     uint64_t value() const { return value_; }
     void reset() { value_ = 0; }
+    /** Overwrite the count (checkpoint restore). */
+    void restore(uint64_t v) { value_ = v; }
 
   private:
     uint64_t value_ = 0;
@@ -47,6 +49,11 @@ class Average
     double min() const { return count_ ? min_ : 0.0; }
     double max() const { return count_ ? max_ : 0.0; }
     uint64_t count() const { return count_; }
+    /** Exact running sum (checkpoint save needs it, mean() rounds). */
+    double sum() const { return sum_; }
+    /** Raw min/max fields, valid regardless of count (checkpoint). */
+    double rawMin() const { return min_; }
+    double rawMax() const { return max_; }
 
     void
     reset()
@@ -54,6 +61,16 @@ class Average
         sum_ = 0.0;
         min_ = max_ = 0.0;
         count_ = 0;
+    }
+
+    /** Overwrite the full running state (checkpoint restore). */
+    void
+    restore(double sum, double min, double max, uint64_t count)
+    {
+        sum_ = sum;
+        min_ = min;
+        max_ = max;
+        count_ = count;
     }
 
   private:
@@ -86,6 +103,8 @@ class Histogram
             ++overflow_;
         else
             ++counts_[b];
+        if (total_ == 0 || v > maxSeen_)
+            maxSeen_ = v;
         ++total_;
     }
 
@@ -95,22 +114,38 @@ class Histogram
     uint64_t total() const { return total_; }
     /** Samples at or past buckets() * bucketWidth(). */
     uint64_t overflow() const { return overflow_; }
+    /** Largest sample observed (0 for an empty histogram). */
+    double maxSeen() const { return total_ ? maxSeen_ : 0.0; }
 
     /**
-     * Approximate q-quantile (q in [0, 1]): the upper edge of the
-     * bucket containing the ceil(q * total)-th smallest sample — a
-     * conservative (never-underestimating) bound at bucket-width
-     * resolution, which is what service-time p50/p99 reporting needs.
-     * Quantiles that land in the overflow bucket return the range
-     * ceiling buckets() * bucketWidth(); an empty histogram returns 0.
+     * Approximate q-quantile (q in [0, 1]): linearly interpolated
+     * within the bucket containing the ceil(q * total)-th smallest
+     * sample (samples are assumed uniform inside a bucket), clamped to
+     * the observed maximum so a quantile never exceeds any sample
+     * actually recorded — p50 of a single 0.1 sample is 0.1, not the
+     * bucket's upper edge. Ranks landing in the overflow bucket report
+     * the observed maximum rather than the range ceiling, which would
+     * *understate* the tail. An empty histogram returns 0.
      */
     double quantile(double q) const;
+
+    /** Overwrite the full sample state (checkpoint restore). */
+    void
+    restore(std::vector<uint64_t> counts, uint64_t overflow,
+            uint64_t total, double maxSeen)
+    {
+        counts_ = std::move(counts);
+        overflow_ = overflow;
+        total_ = total;
+        maxSeen_ = maxSeen;
+    }
 
   private:
     double width_;
     std::vector<uint64_t> counts_;
     uint64_t overflow_ = 0;
     uint64_t total_ = 0;
+    double maxSeen_ = 0.0;
 };
 
 /**

@@ -108,6 +108,9 @@ TEST(Protocol, SerializeParseRoundTrip)
     req.fastForward = false;
     req.bandwidthScale = 2.0;
     req.verify = true;
+    req.checkpointSaveCycle = 123456;
+    req.checkpointSavePrefix = "/tmp/warm";
+    req.checkpointRestorePrefix = "/tmp/cold";
 
     Request back = parseRequest(serializeRequest(req));
     EXPECT_EQ(back.op, Request::Op::Sim);
@@ -120,6 +123,62 @@ TEST(Protocol, SerializeParseRoundTrip)
     EXPECT_EQ(back.sim.fastForward, req.fastForward);
     EXPECT_DOUBLE_EQ(back.sim.bandwidthScale, req.bandwidthScale);
     EXPECT_EQ(back.sim.verify, req.verify);
+    EXPECT_EQ(back.sim.checkpointSaveCycle, req.checkpointSaveCycle);
+    EXPECT_EQ(back.sim.checkpointSavePrefix, req.checkpointSavePrefix);
+    EXPECT_EQ(back.sim.checkpointRestorePrefix,
+              req.checkpointRestorePrefix);
+}
+
+TEST(Protocol, ParsesCheckpointDirectives)
+{
+    Request r = parseRequest(
+        R"({"app":"SPEC-BFS","checkpoint_save":"2000:/tmp/warm"})");
+    EXPECT_EQ(r.sim.checkpointSaveCycle, 2000u);
+    EXPECT_EQ(r.sim.checkpointSavePrefix, "/tmp/warm");
+    EXPECT_TRUE(r.sim.hasCheckpoint());
+
+    r = parseRequest(
+        R"({"app":"SPEC-BFS","checkpoint_restore":"/tmp/warm"})");
+    EXPECT_EQ(r.sim.checkpointRestorePrefix, "/tmp/warm");
+    EXPECT_TRUE(r.sim.hasCheckpoint());
+
+    EXPECT_FALSE(parseRequest(R"({"app":"SPEC-BFS"})")
+                     .sim.hasCheckpoint());
+
+    // The save directive is strictly "<cycle>:<prefix>"; a prefix
+    // with a colon in it stays intact past the first separator.
+    r = parseRequest(
+        R"({"app":"SPEC-BFS","checkpoint_save":"5:/tmp/a:b"})");
+    EXPECT_EQ(r.sim.checkpointSaveCycle, 5u);
+    EXPECT_EQ(r.sim.checkpointSavePrefix, "/tmp/a:b");
+    EXPECT_FALSE(r.sim.checkpointSaveAuto);
+
+    // "auto" in the cycle position requests the per-run calibrated
+    // save point, and survives a serialize/parse round trip.
+    r = parseRequest(
+        R"({"app":"SPEC-BFS","checkpoint_save":"auto:/tmp/warm"})");
+    EXPECT_TRUE(r.sim.checkpointSaveAuto);
+    EXPECT_EQ(r.sim.checkpointSaveCycle, 0u);
+    EXPECT_EQ(r.sim.checkpointSavePrefix, "/tmp/warm");
+    Request again = parseRequest(serializeRequest(r.sim));
+    EXPECT_TRUE(again.sim.checkpointSaveAuto);
+    EXPECT_EQ(again.sim.checkpointSavePrefix, "/tmp/warm");
+}
+
+TEST(Protocol, RejectsMalformedCheckpointDirectives)
+{
+    const char *bad[] = {
+        R"({"app":"SPEC-BFS","checkpoint_save":"no-colon"})",
+        R"({"app":"SPEC-BFS","checkpoint_save":":prefix"})",
+        R"({"app":"SPEC-BFS","checkpoint_save":"10:"})",
+        R"({"app":"SPEC-BFS","checkpoint_save":"1x0:/tmp/p"})",
+        R"({"app":"SPEC-BFS","checkpoint_save":""})",
+        R"({"app":"SPEC-BFS","checkpoint_save":42})",
+        R"({"app":"SPEC-BFS","checkpoint_restore":""})",
+        R"({"app":"SPEC-BFS","checkpoint_restore":7})",
+    };
+    for (const char *c : bad)
+        EXPECT_THROW(parseRequest(c), std::runtime_error) << c;
 }
 
 // ------------------------------------------------------ canonical key
@@ -160,6 +219,32 @@ TEST(CanonicalKey, TwoSpellingsOfOneMachineCollide)
     SimRequest different = viaFlag;
     different.seed = 43;
     EXPECT_NE(svc.requestKey(viaFlag), svc.requestKey(different));
+}
+
+TEST(CanonicalKey, WorkloadKeyUsesTheCanonicalDoubleSpelling)
+{
+    // The workload cache key mirrors the result store's double
+    // spelling (canonicalDouble, %.17g): bit-equal scales collide
+    // however the request spelled them, and nearly-equal scales that
+    // generate different workloads do NOT — a %g-style 6-digit key
+    // would conflate them and serve the wrong graph.
+    EXPECT_EQ(SimService::workloadKey(1.0, 42),
+              SimService::workloadKey(1, 42));
+    EXPECT_NE(SimService::workloadKey(0.3, 42),
+              SimService::workloadKey(0.30000000000000004, 42));
+    EXPECT_NE(SimService::workloadKey(0.1, 42),
+              SimService::workloadKey(0.1, 43));
+
+    // One spelling rule across both caches: the workload half of a
+    // request's identity appears verbatim inside its result key.
+    SimService svc(APIR_SCENARIO_DIR);
+    SimRequest req;
+    req.app = "SPEC-BFS";
+    req.scale = 0.30000000000000004;
+    req.seed = 7;
+    EXPECT_NE(svc.requestKey(req).find(
+                  SimService::workloadKey(req.scale, req.seed)),
+              std::string::npos);
 }
 
 // ------------------------------------------------------------ memo
@@ -333,6 +418,41 @@ TEST(SimService, CachesAndReplaysIdenticalBytes)
     // bytes from a cold start.
     SimService cold(APIR_SCENARIO_DIR);
     EXPECT_EQ(cold.handle(req), first);
+}
+
+TEST(SimService, CheckpointRequestsBypassTheResultStore)
+{
+    SimService svc(APIR_SCENARIO_DIR);
+    std::string prefix = ::testing::TempDir() + "svc_ckpt";
+
+    SimRequest plain;
+    plain.app = "COOR-BFS";
+    plain.scale = 0.02;
+    std::string base = svc.handle(plain);
+    EXPECT_EQ(base.rfind("{\"status\":\"ok\"", 0), 0u);
+
+    // A save run must write its file every time (a result-cache hit
+    // would skip the side effect), and saving must not perturb the
+    // simulation: same bytes as the plain run.
+    SimRequest save = plain;
+    save.checkpointSaveCycle = 200;
+    save.checkpointSavePrefix = prefix;
+    CacheStats before = svc.cacheStats();
+    EXPECT_EQ(svc.handle(save), base);
+    CacheStats after = svc.cacheStats();
+    EXPECT_EQ(after.resultHits, before.resultHits);
+    EXPECT_EQ(after.resultMisses, before.resultMisses);
+
+    // A restore depends on checkpoint file bytes the request key
+    // cannot see, so it computes too — and the restored run is
+    // byte-identical to the one that never stopped.
+    SimRequest restore = plain;
+    restore.checkpointRestorePrefix = prefix;
+    before = svc.cacheStats();
+    EXPECT_EQ(svc.handle(restore), base);
+    after = svc.cacheStats();
+    EXPECT_EQ(after.resultHits, before.resultHits);
+    EXPECT_EQ(after.resultMisses, before.resultMisses);
 }
 
 // ------------------------------------------------------- end to end

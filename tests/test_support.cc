@@ -484,28 +484,46 @@ TEST(Json, MalformedInputErrorsCarryOffsets)
     }
 }
 
-TEST(Histogram, QuantileTracksBucketUpperEdges)
+TEST(Histogram, QuantileInterpolatesWithinBuckets)
 {
     Histogram h(10, 1.0);
     EXPECT_EQ(h.quantile(0.5), 0.0); // empty
     for (int i = 0; i < 100; ++i)
         h.sample(i / 10.0); // 10 samples per bucket
-    EXPECT_EQ(h.quantile(0.0), 1.0);  // clamped to 1st sample's bucket
-    EXPECT_EQ(h.quantile(0.05), 1.0); // 5th sample, bucket [0,1)
-    EXPECT_EQ(h.quantile(0.5), 5.0);  // 50th sample, bucket [4,5)
-    EXPECT_EQ(h.quantile(0.99), 10.0);
-    EXPECT_EQ(h.quantile(1.0), 10.0);
+    // Rank r of 10 uniform samples in [b, b+1) interpolates to
+    // b + r/10; q = 0 means the first sample, never rank 0.
+    EXPECT_EQ(h.quantile(0.0), 0.1);
+    EXPECT_EQ(h.quantile(0.05), 0.5); // 5th sample, bucket [0,1)
+    EXPECT_EQ(h.quantile(0.5), 5.0);  // 50th sample tops bucket [4,5)
+    EXPECT_EQ(h.quantile(0.99), 9.9); // 99th sample, bucket [9,10)
+    // The last rank interpolates to the bucket's upper edge (10.0),
+    // but no sample that large was ever recorded: the observed
+    // maximum caps the estimate.
+    EXPECT_EQ(h.quantile(1.0), 9.9);
 }
 
-TEST(Histogram, QuantileOverflowReturnsRangeCeiling)
+TEST(Histogram, QuantileOfLoneSampleIsThatSample)
+{
+    // The upper-edge regression this pins: a single 0.1 sample in a
+    // width-1 bucket used to report p50 = 1.0, an estimate ten times
+    // larger than every sample in the histogram.
+    Histogram h(4, 1.0);
+    h.sample(0.1);
+    EXPECT_EQ(h.quantile(0.5), 0.1);
+    EXPECT_EQ(h.quantile(1.0), 0.1);
+}
+
+TEST(Histogram, QuantileOverflowReportsObservedMax)
 {
     Histogram h(4, 5.0);
     h.sample(1.0);
     h.sample(100.0); // overflow bucket
     EXPECT_EQ(h.quantile(0.25), 5.0);
-    // The conservative bound for a sample past the range is the
-    // range ceiling, never an in-range underestimate.
-    EXPECT_EQ(h.quantile(1.0), 20.0);
+    // A rank landing among the overflow samples reports the observed
+    // maximum — a real sample at or beyond all of them — not the
+    // range ceiling (20.0), which would understate the tail 5x here.
+    EXPECT_EQ(h.quantile(1.0), 100.0);
+    EXPECT_EQ(h.maxSeen(), 100.0);
 }
 
 TEST(Logging, ScopedFatalThrowsConvertsFatalToException)

@@ -165,10 +165,10 @@ sweepJsonString(const Workloads &w, unsigned threads)
 {
     std::vector<SweepJob> jobs;
     for (Bench b : {Bench::SpecBfs, Bench::CoorBfs, Bench::SpecSssp}) {
-        jobs.push_back({b, defaultAccelConfig(), true});
+        jobs.push_back({b, defaultAccelConfig(), true, {}});
         AccelConfig wide = defaultAccelConfig();
         wide.pipelinesPerSet = 8;
-        jobs.push_back({b, wide, false});
+        jobs.push_back({b, wide, false, {}});
     }
     std::vector<AccelRun> runs = runSweep(jobs, w, threads);
     JsonValue arr = JsonValue::array();
@@ -200,7 +200,7 @@ TEST(Sweep, ResultsArriveInSubmissionOrder)
     for (uint32_t np : {1u, 2u, 4u}) {
         AccelConfig cfg = defaultAccelConfig();
         cfg.pipelinesPerSet = np;
-        jobs.push_back({Bench::SpecBfs, cfg, false});
+        jobs.push_back({Bench::SpecBfs, cfg, false, {}});
     }
     std::vector<AccelRun> runs = runSweep(jobs, w, 3);
     ASSERT_EQ(runs.size(), jobs.size());
@@ -216,7 +216,7 @@ TEST(SweepDeath, TraceHooksRequireSerialExecution)
     setQuietLogging(true);
     Workloads w = makeWorkloads(0.02);
     std::ostringstream trace;
-    SweepJob job{Bench::SpecBfs, defaultAccelConfig(), false};
+    SweepJob job{Bench::SpecBfs, defaultAccelConfig(), false, {}};
     job.cfg.trace = &trace;
     EXPECT_EXIT(runSweep({job}, w, 2), ::testing::ExitedWithCode(1),
                 "trace hooks");

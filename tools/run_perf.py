@@ -15,11 +15,20 @@ Usage:
                     [--out BENCH_tick.json]
                     [--check BASELINE --tolerance 0.30]
 
+The record also carries a "checkpoint" section: wall-clock of a full
+fig9 run, of the same run saving a mid-flight checkpoint, and of a
+run restored from that checkpoint (docs/checkpointing.md). The gated
+quantities are the two ratios — save overhead (save/full) and restore
+speedup (full/restore) — which compare runs from the same machine and
+so are far more stable than absolute seconds.
+
 With --check, the fresh run is compared against a previously written
 record: any benchmark whose cycles_per_sec drops more than the
-tolerance below the baseline fails the run (exit nonzero, all
-regressions listed). The scales must match, otherwise the comparison
-is meaningless and the script refuses. This powers the CI perf smoke
+tolerance below the baseline, a restore speedup more than the
+tolerance below the baseline's, or a save overhead more than the
+tolerance above it fails the run (exit nonzero, all regressions
+listed). The scales must match, otherwise the comparison is
+meaningless and the script refuses. This powers the CI perf smoke
 leg; refresh the committed baseline when the timing model or the CI
 hardware changes.
 """
@@ -27,9 +36,11 @@ hardware changes.
 import argparse
 import json
 import pathlib
+import shutil
 import subprocess
 import sys
 import tempfile
+import time
 
 REPO = pathlib.Path(__file__).resolve().parent.parent
 
@@ -54,6 +65,47 @@ def run_micro_tick(bench, scale, reps):
     doc = json.load(open(stats))
     stats.unlink()
     return doc["runs"]
+
+
+def run_checkpoint_probe(build_dir, scale, reps):
+    """Wall-clock the checkpoint paths (best of `reps` each): a full
+    fig9 sweep, the same sweep saving auto-calibrated checkpoints
+    (each run saves at 75% of its own length, at the cost of a cold
+    calibration run — so save_overhead is expected near 2x), and a
+    sweep restored from those checkpoints. Returns the three times
+    plus the two gated ratios."""
+    bench = REPO / build_dir / "bench" / "fig9_speedup"
+    workdir = pathlib.Path(tempfile.mkdtemp(prefix="ckpt-perf-"))
+
+    def timed(tag, extra):
+        stats = workdir / f"{tag}.json"
+        cmd = [str(bench), "--scale", str(scale), "--threads", "1",
+               "--stats-json", str(stats)] + extra
+        best = None
+        for _ in range(reps):
+            t0 = time.monotonic()
+            proc = subprocess.run(cmd, cwd=REPO, stdout=subprocess.PIPE,
+                                  stderr=subprocess.STDOUT, text=True)
+            dt = time.monotonic() - t0
+            if proc.returncode != 0:
+                sys.stderr.write(f"FAIL: {' '.join(cmd)}\n{proc.stdout}\n")
+                sys.exit(1)
+            best = dt if best is None else min(best, dt)
+        return best, stats
+
+    full_s, _ = timed("full", [])
+    prefix = workdir / "warm"
+    save_s, _ = timed("save", ["--checkpoint-save", f"auto:{prefix}"])
+    restore_s, _ = timed("restore",
+                         ["--checkpoint-restore", str(prefix)])
+    shutil.rmtree(workdir)
+    return {
+        "full_seconds": full_s,
+        "save_seconds": save_s,
+        "restore_seconds": restore_s,
+        "save_overhead": save_s / full_s,
+        "restore_speedup": full_s / restore_s,
+    }
 
 
 def make_record(runs, scale, reps):
@@ -92,6 +144,38 @@ def check_regression(fresh, baseline_path, tolerance):
                 f"{name}: {got:.3g} cycles/sec is more than "
                 f"{tolerance:.0%} below the baseline "
                 f"{base['cycles_per_sec']:.3g}")
+    # Checkpoint ratio gates: the save overhead may not grow, the
+    # restore speedup may not shrink, beyond the tolerance. Both are
+    # same-machine ratios, so the 30% default covers load noise, not
+    # hardware drift.
+    base_ck = baseline.get("checkpoint")
+    fresh_ck = fresh.get("checkpoint")
+    if base_ck and fresh_ck:
+        ceiling = base_ck["save_overhead"] * (1.0 + tolerance)
+        got = fresh_ck["save_overhead"]
+        verdict = "ok  " if got <= ceiling else "FAIL"
+        print(f"{verdict} checkpoint save overhead: {got:.3f}x full run "
+              f"(baseline {base_ck['save_overhead']:.3f}, "
+              f"ceiling {ceiling:.3f})")
+        if got > ceiling:
+            failures.append(
+                f"checkpoint: save overhead {got:.3f} is more than "
+                f"{tolerance:.0%} above the baseline "
+                f"{base_ck['save_overhead']:.3f}")
+        floor = base_ck["restore_speedup"] * (1.0 - tolerance)
+        got = fresh_ck["restore_speedup"]
+        verdict = "ok  " if got >= floor else "FAIL"
+        print(f"{verdict} checkpoint restore speedup: {got:.2f}x "
+              f"(baseline {base_ck['restore_speedup']:.2f}, "
+              f"floor {floor:.2f})")
+        if got < floor:
+            failures.append(
+                f"checkpoint: restore speedup {got:.2f} is more than "
+                f"{tolerance:.0%} below the baseline "
+                f"{base_ck['restore_speedup']:.2f}")
+    elif base_ck and not fresh_ck:
+        failures.append("checkpoint: section missing from the fresh run")
+
     if failures:
         sys.stderr.write("tick-loop throughput regression:\n")
         for f in failures:
@@ -130,6 +214,20 @@ def write_summary(fresh, baseline_path, out_path):
                              else f"{v}")
             lines.append(f"| {name} | {c} | {fmt(b)} | {fmt(f)} "
                          f"| {delta} |")
+    base_ck = baseline.get("checkpoint", {})
+    fresh_ck = fresh.get("checkpoint", {})
+    for c in ("full_seconds", "save_seconds", "restore_seconds",
+              "save_overhead", "restore_speedup"):
+        b, f = base_ck.get(c), fresh_ck.get(c)
+        if b is None or f is None:
+            delta = "n/a"
+        elif b == 0:
+            delta = "new"
+        else:
+            delta = f"{(f - b) / b:+.1%}"
+        bs = "n/a" if b is None else f"{b:.3g}"
+        fs = "n/a" if f is None else f"{f:.3g}"
+        lines.append(f"| checkpoint | {c} | {bs} | {fs} | {delta} |")
     with open(out_path, "a") as f:
         f.write("\n".join(lines) + "\n")
     print(f"appended per-counter delta table to {out_path}")
@@ -162,6 +260,10 @@ def main():
 
     runs = run_micro_tick(bench, args.scale, args.reps)
     record = make_record(runs, args.scale, args.reps)
+    # Best-of-3 is enough for the ratio gates; the full reps count
+    # would triple the probe's cost for little extra stability.
+    record["checkpoint"] = run_checkpoint_probe(
+        args.build_dir, args.scale, min(args.reps, 3))
 
     out = REPO / args.out
     with open(out, "w") as f:
